@@ -1,0 +1,73 @@
+// Ablation: the ring re-arm (refill) design (§5.1 "replicas wake up
+// periodically off the critical path").
+//
+// Sweeps the replica refill period under loaded servers and compares with
+// an idealized NIC self-refill. The claim to verify: as long as the ring
+// is deep enough for the refill cadence, refill via CPU has *no* effect on
+// the offloaded data path (identical latency, zero RNR stalls); only when
+// refill starves does the RNR machinery kick in.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/hyperloop_group.h"
+
+int main(int argc, char** argv) {
+  using namespace hyperloop::bench;
+  using hyperloop::core::HyperLoopGroup;
+  uint64_t ops = 2000;
+  if (argc > 1) ops = std::strtoull(argv[1], nullptr, 10);
+
+  std::printf("=== Ablation: ring refill strategy (HyperLoop, group=3, 128B, loaded) ===\n");
+  hyperloop::stats::Table table({"refill", "ring", "avg(us)", "p99(us)",
+                                 "RNR stalls", "replica CPU(%)"});
+
+  struct Cfg {
+    const char* name;
+    bool via_cpu;
+    hyperloop::sim::Duration period;
+    uint32_t ring;
+  };
+  const Cfg cfgs[] = {
+      {"NIC self-refill", false, hyperloop::sim::usec(20), 512},
+      {"CPU 20us", true, hyperloop::sim::usec(20), 512},
+      {"CPU 100us", true, hyperloop::sim::usec(100), 512},
+      {"CPU 1ms", true, hyperloop::sim::msec(1), 512},
+      {"CPU 1ms, tiny ring", true, hyperloop::sim::msec(1), 64},
+  };
+
+  for (const Cfg& c : cfgs) {
+    auto cluster = make_cluster(3, 6100 + c.ring + (c.via_cpu ? 1 : 0) +
+                                       static_cast<uint64_t>(c.period));
+    for (size_t s = 0; s < 3; ++s) add_stress(*cluster, s, kPaperIntensity);
+    HyperLoopGroup::Config gc;
+    gc.region_size = 4u << 20;
+    gc.ring_slots = c.ring;
+    gc.max_inflight = std::min(32u, c.ring / 2);
+    gc.refill_via_cpu = c.via_cpu;
+    gc.refill_period = c.period;
+    std::vector<Server*> reps = {&cluster->server(0), &cluster->server(1),
+                                 &cluster->server(2)};
+    HyperLoopGroup group(cluster->server(3), reps, gc);
+    cluster->loop().run_until(hyperloop::sim::msec(20));
+
+    std::vector<uint8_t> payload(128, 0x42);
+    group.client_store(0, payload.data(), 128);
+    const hyperloop::sim::Time t0 = cluster->loop().now();
+    auto lat = closed_loop(cluster->loop(), ops,
+                           [&](std::function<void()> done) {
+                             group.gwrite(0, 128, true, std::move(done));
+                           });
+    const double secs = hyperloop::sim::to_sec(cluster->loop().now() - t0);
+    double cpu = 0;
+    for (size_t r = 0; r < 3; ++r) {
+      cpu += hyperloop::sim::to_sec(group.replica_cpu_time(r));
+    }
+    table.add_row({c.name, std::to_string(c.ring),
+                   hyperloop::stats::Table::num(lat.mean() / 1e3),
+                   hyperloop::stats::Table::num(lat.percentile(99) / 1e3),
+                   std::to_string(group.total_rnr_stalls()),
+                   hyperloop::stats::Table::num(cpu / (secs * 3) * 100, 3)});
+  }
+  table.print();
+  return 0;
+}

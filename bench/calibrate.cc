@@ -1,0 +1,51 @@
+// Calibration scratchpad: one gWRITE latency config per invocation, with
+// load-profile knobs on the command line. Used to tune the multi-tenant
+// stress profile so the Naïve-RDMA baseline lands in the paper's regime
+// (avg ~500us, p99 ~10^4 us at 128B, group 3) while HyperLoop stays ~10us.
+//
+//   calibrate [ops] [intensity] [tenants] [sigma] [batch] [median_burst_us]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace hyperloop::bench;
+  uint64_t ops = 500;
+  double intensity = 1.0;
+  StressProfile p;
+  if (argc > 1) ops = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) intensity = std::atof(argv[2]);
+  if (argc > 3) p.tenants = std::atoi(argv[3]);
+  if (argc > 4) p.burst_sigma = std::atof(argv[4]);
+  if (argc > 5) p.max_batch = std::atoi(argv[5]);
+  if (argc > 7) p.fanout = std::atoi(argv[7]);
+  if (argc > 6) p.median_burst = hyperloop::sim::usec(std::atoi(argv[6]));
+
+  std::printf("ops=%llu intensity=%.2f tenants=%d sigma=%.2f batch=%d burst=%lldus\n",
+              (unsigned long long)ops, intensity, p.tenants, p.burst_sigma,
+              p.max_batch, (long long)(p.median_burst / 1000));
+
+  for (int which = 0; which < 2; ++which) {
+    const Backend backend =
+        which == 0 ? Backend::kHyperLoop : Backend::kNaiveEvent;
+    auto cluster = make_cluster(3, 4242 + which);
+    for (size_t s = 0; s < 3; ++s) add_stress(*cluster, s, intensity, p);
+    auto group = make_group(*cluster, 3, backend);
+    cluster->loop().run_until(hyperloop::sim::msec(50));
+
+    std::vector<uint8_t> payload(128, 0xAB);
+    group->client_store(0, payload.data(), 128);
+    auto lat = closed_loop(cluster->loop(), ops,
+                           [&](std::function<void()> done) {
+                             group->gwrite(0, 128, true, std::move(done));
+                           });
+    std::printf("%-13s %s  (util=%.3f ctx=%llu)\n", backend_name(backend),
+                lat.summary_us().c_str(),
+                cluster->server(0).sched().utilization(),
+                (unsigned long long)cluster->server(0)
+                    .sched()
+                    .total_context_switches());
+  }
+  return 0;
+}

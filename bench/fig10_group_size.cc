@@ -1,0 +1,57 @@
+// Figure 10: 99th-percentile gWRITE latency vs replication group size
+// (3, 5, 7) across message sizes, Naïve-RDMA (a) vs HyperLoop (b).
+//
+// Paper's shape: the baseline's p99 grows with group size (up to 2.97x
+// from 3 to 7 replicas: more CPU hops, more chances to hit a busy core),
+// while HyperLoop stays essentially flat and only shifts by the extra
+// NIC/wire hops.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace hyperloop::bench;
+  uint64_t ops = 800;
+  if (argc > 1) ops = std::strtoull(argv[1], nullptr, 10);
+
+  const std::vector<int> group_sizes = {3, 5, 7};
+  const std::vector<uint32_t> sizes = {128, 512, 2048, 8192};
+
+  for (int which = 0; which < 2; ++which) {
+    const Backend backend =
+        which == 0 ? Backend::kNaiveEvent : Backend::kHyperLoop;
+    std::printf("=== Figure 10(%c): %s p99 gWRITE latency (us) ===\n",
+                which == 0 ? 'a' : 'b', backend_name(backend));
+    std::vector<std::string> header = {"size(B)"};
+    for (int g : group_sizes) header.push_back("G=" + std::to_string(g));
+    header.push_back("G7/G3");
+    hyperloop::stats::Table table(header);
+
+    for (uint32_t size : sizes) {
+      std::vector<std::string> row = {std::to_string(size)};
+      double p99s[8] = {};
+      for (size_t gi = 0; gi < group_sizes.size(); ++gi) {
+        const int g = group_sizes[gi];
+        auto cluster = make_cluster(g, 901 + size + g * 13 + which);
+        for (int s = 0; s < g; ++s) add_stress(*cluster, s, kPaperIntensity);
+        auto group = make_group(*cluster, g, backend);
+        cluster->loop().run_until(hyperloop::sim::msec(20));
+
+        std::vector<uint8_t> payload(size, 0x3C);
+        group->client_store(0, payload.data(), size);
+        auto lat = closed_loop(cluster->loop(), ops,
+                               [&](std::function<void()> done) {
+                                 group->gwrite(0, size, true, std::move(done));
+                               });
+        p99s[gi] = lat.percentile(99) / 1e3;
+        row.push_back(hyperloop::stats::Table::num(p99s[gi]));
+      }
+      row.push_back(hyperloop::stats::Table::num(
+          p99s[group_sizes.size() - 1] / p99s[0], 2) + "x");
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Wall-clock performance self-check for the simulator itself (google-
+// benchmark). These are not paper experiments: they guard against
+// regressions that would make the figure-reproduction benches impractical
+// to run (the DES must sustain millions of events per second).
+#include <benchmark/benchmark.h>
+
+#include "apps/ycsb/workload.h"
+#include "bench/common.h"
+#include "sim/event_loop.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace hyperloop;
+
+void BM_EventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int n = 0;
+    std::function<void()> f = [&] {
+      if (++n < 10000) loop.schedule_after(1, f);
+    };
+    loop.schedule_after(0, f);
+    loop.run();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventLoop);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h.record(static_cast<int64_t>(rng.next_below(10'000'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  stats::Histogram h;
+  sim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.record(static_cast<int64_t>(rng.next_below(10'000'000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  sim::Rng rng(2);
+  sim::ZipfianGenerator z(1'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianSample);
+
+void BM_YcsbGenerate(benchmark::State& state) {
+  apps::WorkloadGenerator gen(apps::WorkloadSpec::A(), 100000, sim::Rng(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YcsbGenerate);
+
+void BM_HyperLoopGwriteSimulated(benchmark::State& state) {
+  // Wall time to simulate one offloaded 128B gWRITE end to end.
+  using namespace hyperloop::bench;
+  auto cluster = make_cluster(3, 42);
+  auto group = make_group(*cluster, 3, Backend::kHyperLoop);
+  std::vector<uint8_t> payload(128, 1);
+  group->client_store(0, payload.data(), 128);
+  cluster->loop().run_until(sim::msec(1));
+  for (auto _ : state) {
+    bool done = false;
+    group->gwrite(0, 128, true, [&] { done = true; });
+    while (!done) {
+      cluster->loop().run_until(cluster->loop().now() + sim::usec(50));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperLoopGwriteSimulated);
+
+void BM_IntervalSetChurn(benchmark::State& state) {
+  nvm::IntervalSet s;
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    const uint64_t a = rng.next_below(1 << 20);
+    if (rng.chance(0.7)) {
+      s.insert(a, a + 64);
+    } else {
+      s.erase(a, a + 4096);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalSetChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Quickstart: set up a 3-replica HyperLoop chain and use the four
+// group-based primitives directly.
+//
+//   build/examples/quickstart
+//
+// What it shows:
+//   - gWRITE  replicates bytes to every replica (NIC-offloaded chain)
+//   - gFLUSH  makes them durable (survives an injected power failure)
+//   - gMEMCPY applies a "log record" into the database area on all replicas
+//   - gCAS    takes and releases a group lock, with a result map
+#include <cstdio>
+#include <cstring>
+
+#include "core/hyperloop_group.h"
+#include "core/server.h"
+
+using namespace hyperloop;
+
+int main() {
+  // A cluster: 3 storage servers + 1 client (the transaction coordinator).
+  core::Cluster::Config cc;
+  cc.num_servers = 4;
+  cc.server.cpu.num_cores = 16;
+  core::Cluster cluster(cc);
+
+  core::HyperLoopGroup::Config gc;
+  gc.region_size = 1 << 20;
+  std::vector<core::Server*> replicas = {&cluster.server(0),
+                                         &cluster.server(1),
+                                         &cluster.server(2)};
+  core::HyperLoopGroup group(cluster.server(3), replicas, gc);
+
+  // --- gWRITE + interleaved gFLUSH -------------------------------------
+  const char msg[] = "hello, replicated world";
+  group.client_store(0, msg, sizeof(msg));
+  group.gwrite(0, sizeof(msg), /*flush=*/true, [&] {
+    std::printf("gWRITE acked at t=%.1fus (durable on all replicas)\n",
+                sim::to_us(cluster.loop().now()));
+  });
+  cluster.loop().run_until(sim::msec(1));
+
+  for (size_t i = 0; i < 3; ++i) {
+    char out[sizeof(msg)] = {};
+    group.replica_load(i, 0, out, sizeof(msg));
+    std::printf("  replica %zu: \"%s\"\n", i, out);
+  }
+
+  // Power-fail every replica: the flushed write must survive.
+  for (size_t i = 0; i < 3; ++i) group.replica_server(i).nvm().crash();
+  char out[sizeof(msg)] = {};
+  group.replica_load(1, 0, out, sizeof(msg));
+  std::printf("after power failure, replica 1 still has: \"%s\"\n", out);
+
+  // --- gMEMCPY: remote log processing ----------------------------------
+  group.gmemcpy(0, 4096, sizeof(msg), /*flush=*/true, [&] {
+    std::printf("gMEMCPY applied log->db on all replicas, t=%.1fus\n",
+                sim::to_us(cluster.loop().now()));
+  });
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(1));
+  std::memset(out, 0, sizeof(out));
+  group.replica_load(2, 4096, out, sizeof(msg));
+  std::printf("  replica 2 db area: \"%s\"\n", out);
+
+  // --- gCAS: group locking ----------------------------------------------
+  group.gcas(8192, /*expected=*/0, /*desired=*/77, {true, true, true},
+             [&](const std::vector<uint64_t>& old_values) {
+               std::printf("gCAS acquired the lock; old values were");
+               for (uint64_t v : old_values) std::printf(" %llu",
+                   static_cast<unsigned long long>(v));
+               std::printf("\n");
+             });
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(1));
+
+  // A second CAS sees the lock held (result map reports 77 everywhere).
+  group.gcas(8192, 0, 99, {true, true, true},
+             [&](const std::vector<uint64_t>& old_values) {
+               std::printf("second gCAS refused: holder id %llu\n",
+                           static_cast<unsigned long long>(old_values[0]));
+             });
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(1));
+
+  std::printf(
+      "replica CPU consumed by the data path: 0 (refill only: %.1fus over "
+      "%.1fms)\n",
+      sim::to_us(group.replica_cpu_time(0) + group.replica_cpu_time(1) +
+                 group.replica_cpu_time(2)),
+      sim::to_ms(cluster.loop().now()));
+  return 0;
+}

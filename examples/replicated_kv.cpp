@@ -1,0 +1,98 @@
+// Replicated key-value store (the RocksDB case study) driven by YCSB-A,
+// comparing HyperLoop against the CPU-driven Naïve-RDMA baseline on
+// servers crowded with other tenants.
+//
+//   build/examples/replicated_kv
+//
+// Also demonstrates eventual consistency of replica reads: a freshly
+// written key appears on the replicas only after their periodic
+// log-sync wakeup.
+#include <cstdio>
+
+#include "apps/kvstore/kvstore.h"
+#include "apps/ycsb/driver.h"
+#include "apps/ycsb/workload.h"
+#include "core/hyperloop_group.h"
+#include "core/naive_group.h"
+#include "core/server.h"
+
+using namespace hyperloop;
+
+namespace {
+
+void run_backend(bool hyper) {
+  core::Cluster::Config cc;
+  cc.num_servers = 4;
+  cc.seed = 2024;
+  core::Cluster cluster(cc);
+  // Busy neighbours on the storage servers.
+  for (size_t s = 0; s < 3; ++s) {
+    cluster.server(s).add_background_load(
+        24, cluster.fork_rng(),
+        {.tenants = 0, .median_burst = sim::usec(150), .burst_sigma = 1.2,
+         .mean_think = sim::msec(22), .max_batch = 4, .fanout = 16});
+  }
+
+  core::RegionLayout layout;
+  layout.region_size = 8u << 20;
+  layout.log_size = 1u << 20;
+  std::vector<core::Server*> reps = {&cluster.server(0), &cluster.server(1),
+                                     &cluster.server(2)};
+  std::unique_ptr<core::ReplicationGroup> group;
+  if (hyper) {
+    core::HyperLoopGroup::Config gc;
+    gc.region_size = layout.region_size;
+    group = std::make_unique<core::HyperLoopGroup>(cluster.server(3), reps, gc);
+  } else {
+    core::NaiveRdmaGroup::Config gc;
+    gc.region_size = layout.region_size;
+    group = std::make_unique<core::NaiveRdmaGroup>(cluster.server(3), reps, gc);
+  }
+
+  apps::KvStore::Config kc;
+  kc.layout = layout;
+  kc.value_size = 1024;
+  apps::KvStore store(*group, cluster.server(3), reps, kc);
+  store.bulk_load(1000);
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(100));
+
+  apps::WorkloadGenerator gen(apps::WorkloadSpec::A(), 1000,
+                              cluster.fork_rng());
+  apps::YcsbDriver::Config dc;
+  dc.threads = 4;
+  dc.total_ops = 1000;
+  apps::YcsbDriver driver(cluster.loop(), store, gen, dc);
+  bool complete = false;
+  driver.start([&] { complete = true; });
+  while (!complete) {
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(100));
+  }
+  std::printf("%-10s YCSB-A updates: %s\n", hyper ? "HyperLoop" : "Naive",
+              driver.latency(apps::OpType::kUpdate).summary_us().c_str());
+
+  if (hyper) {
+    // Eventual consistency demo.
+    bool put = false;
+    store.update(7, apps::WorkloadGenerator::value_for(777, 1024),
+                 [&](bool) { put = true; });
+    cluster.loop().run_until(cluster.loop().now() + sim::usec(200));
+    std::vector<uint8_t> v;
+    const bool before = store.replica_read(0, 7, &v) &&
+                        v == apps::WorkloadGenerator::value_for(777, 1024);
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(10));
+    const bool after = store.replica_read(0, 7, &v) &&
+                       v == apps::WorkloadGenerator::value_for(777, 1024);
+    std::printf(
+        "  replica read right after ack sees new value: %s; after the "
+        "sync period: %s (eventually consistent, like §5.1)\n",
+        before ? "yes" : "no", after ? "yes" : "no");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_backend(/*hyper=*/false);
+  run_backend(/*hyper=*/true);
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "apps/docstore/docstore.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/ycsb/workload.h"
+
+namespace hyperloop::apps {
+
+DocStore::DocStore(core::ReplicationGroup& group, core::Server& client,
+                   Config cfg)
+    : group_(group),
+      client_(client),
+      cfg_(cfg),
+      wal_(group, cfg.layout),
+      locks_(group, cfg.layout, client.loop()),
+      txns_(group, wal_, locks_, client.loop()) {
+  client_pid_ = client_.sched().create_process(client_.name() + "-doc-fe");
+}
+
+std::vector<uint8_t> DocStore::encode_doc(
+    uint64_t key, const std::vector<uint8_t>& value) const {
+  assert(value.size() <= cfg_.value_size);
+  std::vector<uint8_t> doc(slot_stride());
+  std::memcpy(doc.data(), &key, 8);
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  std::memcpy(doc.data() + 8, &len, 4);
+  std::memcpy(doc.data() + 16, value.data(), value.size());
+  return doc;
+}
+
+void DocStore::write_doc(uint64_t key, std::vector<uint8_t> value,
+                         Done done) {
+  // Front-end CPU first, then the offloaded transaction.
+  client_.sched().submit(
+      client_pid_, cfg_.op_cpu,
+      [this, key, value = std::move(value), done = std::move(done)]() mutable {
+        std::vector<core::ReplicatedWal::Entry> writes;
+        writes.push_back({slot_offset(key), encode_doc(key, value)});
+        txns_.execute(std::move(writes), {stripe(key)},
+                      [done = std::move(done)](bool ok) { done(ok); });
+      });
+}
+
+void DocStore::insert(uint64_t key, std::vector<uint8_t> value, Done done) {
+  write_doc(key, std::move(value), std::move(done));
+}
+
+void DocStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
+  write_doc(key, std::move(value), std::move(done));
+}
+
+void DocStore::finish_read(uint64_t key, ReadDone done) {
+  if (cfg_.read_from_replica && reader_ != nullptr) {
+    reader_->read(cfg_.layout.db_base() + slot_offset(key),
+                  static_cast<uint32_t>(slot_stride()),
+                  [done = std::move(done)](std::vector<uint8_t> doc) {
+                    uint32_t len = 0;
+                    std::memcpy(&len, doc.data() + 8, 4);
+                    if (len == 0) {
+                      done(false, {});
+                      return;
+                    }
+                    done(true, std::vector<uint8_t>(doc.begin() + 16,
+                                                    doc.begin() + 16 + len));
+                  });
+    return;
+  }
+  uint32_t len = 0;
+  group_.client_load(cfg_.layout.db_base() + slot_offset(key) + 8, &len, 4);
+  if (len == 0 || len > cfg_.value_size) {
+    done(false, {});
+    return;
+  }
+  std::vector<uint8_t> value(len);
+  group_.client_load(cfg_.layout.db_base() + slot_offset(key) + 16,
+                     value.data(), len);
+  done(true, std::move(value));
+}
+
+void DocStore::read(uint64_t key, ReadDone done) {
+  client_.sched().submit(
+      client_pid_, cfg_.op_cpu,
+      [this, key, done = std::move(done)]() mutable {
+        if (!cfg_.use_read_locks) {
+          finish_read(key, std::move(done));
+          return;
+        }
+        const size_t replica =
+            cfg_.read_from_replica ? cfg_.read_replica : 0;
+        locks_.rd_lock(stripe(key), replica,
+                       [this, key, replica, done = std::move(done)](bool ok) mutable {
+                         if (!ok) {
+                           done(false, {});
+                           return;
+                         }
+                         finish_read(
+                             key,
+                             [this, key, replica, done = std::move(done)](
+                                 bool ok2, std::vector<uint8_t> v) mutable {
+                               locks_.rd_unlock(
+                                   stripe(key), replica,
+                                   [done = std::move(done), ok2,
+                                    v = std::move(v)]() mutable {
+                                     done(ok2, std::move(v));
+                                   });
+                             });
+                       });
+      });
+}
+
+void DocStore::scan(uint64_t key, int count, Done done) {
+  // Scans read `count` consecutive documents from the local copy; charge
+  // per-document CPU (cursor iteration + marshalling).
+  const auto cpu =
+      cfg_.op_cpu + sim::nsec(500) * static_cast<sim::Duration>(count);
+  client_.sched().submit(client_pid_, cpu,
+                         [this, key, count, done = std::move(done)] {
+                           int found = 0;
+                           for (int i = 0; i < count; ++i) {
+                             uint32_t len = 0;
+                             const uint64_t k = key + static_cast<uint64_t>(i);
+                             if (slot_offset(k) + slot_stride() >
+                                 cfg_.layout.db_size()) {
+                               break;
+                             }
+                             group_.client_load(
+                                 cfg_.layout.db_base() + slot_offset(k) + 8,
+                                 &len, 4);
+                             if (len != 0) ++found;
+                           }
+                           done(found > 0);
+                         });
+}
+
+void DocStore::read_modify_write(uint64_t key, std::vector<uint8_t> value,
+                                 Done done) {
+  read(key, [this, key, value = std::move(value), done = std::move(done)](
+                bool ok, std::vector<uint8_t>) mutable {
+    if (!ok) {
+      done(false);
+      return;
+    }
+    write_doc(key, std::move(value), std::move(done));
+  });
+}
+
+void DocStore::bulk_load(uint64_t n) {
+  for (uint64_t k = 0; k < n; ++k) {
+    const auto doc =
+        encode_doc(k, WorkloadGenerator::value_for(k, cfg_.value_size));
+    group_.client_store(cfg_.layout.db_base() + slot_offset(k), doc.data(),
+                        static_cast<uint32_t>(doc.size()));
+  }
+  const uint64_t total = n * slot_stride();
+  const uint32_t chunk = 256 << 10;
+  for (uint64_t off = 0; off < total; off += chunk) {
+    const auto len =
+        static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
+    group_.gwrite(cfg_.layout.db_base() + off, len, /*flush=*/true, [] {});
+  }
+}
+
+}  // namespace hyperloop::apps

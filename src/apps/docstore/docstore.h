@@ -1,0 +1,89 @@
+// Replicated document store — the MongoDB case study (§5.2).
+//
+// The store is split into a front end (query parsing + coordination,
+// running as a process on the primary server) and a back end (the
+// replicated region on the chain). Every write is a full ACID transaction
+// through the TransactionManager: group write locks (gCAS), oplog append
+// (gWRITE+gFLUSH), ExecuteAndAdvance (gMEMCPY+gFLUSH), unlock — exactly
+// the §5.2 flow, with wrLock/wrUnlock surrounding ExecuteAndAdvance.
+// Reads take a read lock on the primary's copy by default; an optional
+// RemoteReader serves reads from a chain replica (one-sided RDMA).
+//
+// Documents are fixed-stride slots in the DB area indexed by dense keys:
+// [key u64][len u32][pad u32][body].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/storage_engine.h"
+#include "core/lock.h"
+#include "core/remote_reader.h"
+#include "core/server.h"
+#include "core/txn.h"
+#include "core/wal.h"
+
+namespace hyperloop::apps {
+
+class DocStore : public StorageEngine {
+ public:
+  struct Config {
+    core::RegionLayout layout;
+    uint32_t value_size = 1024;
+    /// Front-end CPU per operation (parse, plan, marshal) — MongoDB's
+    /// software stack cost, which the paper notes dominates what remains
+    /// after offload.
+    sim::Duration op_cpu = sim::usec(4);
+    /// Serve reads from a replica via one-sided RDMA instead of the
+    /// primary's copy.
+    bool read_from_replica = false;
+    size_t read_replica = 0;
+    /// Take read locks for reads (required for consistent replica reads).
+    bool use_read_locks = true;
+  };
+
+  DocStore(core::ReplicationGroup& group, core::Server& client, Config cfg);
+
+  /// Enables replica reads through the given reader (owned by caller).
+  void set_remote_reader(core::RemoteReader* reader) { reader_ = reader; }
+
+  // StorageEngine ---------------------------------------------------------
+  void insert(uint64_t key, std::vector<uint8_t> value, Done done) override;
+  void update(uint64_t key, std::vector<uint8_t> value, Done done) override;
+  void read(uint64_t key, ReadDone done) override;
+  void scan(uint64_t key, int count, Done done) override;
+  void read_modify_write(uint64_t key, std::vector<uint8_t> value,
+                         Done done) override;
+
+  /// Control-path bulk load (pre-bench initialization): fills the DB area
+  /// and replicates it in large chunks.
+  void bulk_load(uint64_t n);
+
+  core::ReplicatedWal& wal() { return wal_; }
+  core::TransactionManager& txns() { return txns_; }
+  core::GroupLockManager& locks() { return locks_; }
+  sim::ProcessId front_end_pid() const { return client_pid_; }
+
+ private:
+  uint64_t slot_stride() const { return 16 + cfg_.value_size; }
+  uint64_t slot_offset(uint64_t key) const { return key * slot_stride(); }
+  uint32_t stripe(uint64_t key) const {
+    return static_cast<uint32_t>(key % cfg_.layout.num_locks);
+  }
+  std::vector<uint8_t> encode_doc(uint64_t key,
+                                  const std::vector<uint8_t>& value) const;
+  void write_doc(uint64_t key, std::vector<uint8_t> value, Done done);
+  void finish_read(uint64_t key, ReadDone done);
+
+  core::ReplicationGroup& group_;
+  core::Server& client_;
+  Config cfg_;
+  core::ReplicatedWal wal_;
+  core::GroupLockManager locks_;
+  core::TransactionManager txns_;
+  core::RemoteReader* reader_ = nullptr;
+  sim::ProcessId client_pid_;
+};
+
+}  // namespace hyperloop::apps

@@ -1,0 +1,252 @@
+#include "apps/kvstore/kvstore.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/ycsb/workload.h"
+
+namespace hyperloop::apps {
+
+KvStore::KvStore(core::ReplicationGroup& group, core::Server& client,
+                 std::vector<core::Server*> replica_servers, Config cfg)
+    : group_(group), client_(client), cfg_(cfg), wal_(group, cfg.layout) {
+  client_pid_ = client_.sched().create_process(client_.name() + "-kv");
+  replica_tables_.resize(replica_servers.size());
+  for (size_t i = 0; i < replica_servers.size(); ++i) {
+    replica_tables_[i].server = replica_servers[i];
+    if (cfg_.replicas_sync) {
+      replica_tables_[i].pid = replica_servers[i]->sched().create_process(
+          replica_servers[i]->name() + "-kv-sync");
+      replica_sync_tick(i);
+    }
+  }
+}
+
+KvStore::~KvStore() { *alive_ = false; }
+
+std::vector<uint8_t> KvStore::encode_slot(
+    uint64_t key, const std::vector<uint8_t>& value) const {
+  std::vector<uint8_t> slot(slot_stride());
+  std::memcpy(slot.data(), &key, 8);
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  std::memcpy(slot.data() + 8, &len, 4);
+  std::memcpy(slot.data() + 16, value.data(),
+              std::min<size_t>(value.size(), cfg_.value_size));
+  return slot;
+}
+
+void KvStore::put(uint64_t key, std::vector<uint8_t> value, Done done) {
+  assert(value.size() <= cfg_.value_size);
+  client_.sched().submit(
+      client_pid_, cfg_.op_cpu,
+      [this, key, value = std::move(value), done = std::move(done)]() mutable {
+        memtable_.insert(key, value);
+        std::vector<core::ReplicatedWal::Entry> entries;
+        entries.push_back({slot_offset(key), encode_slot(key, value)});
+        auto done_sp = std::make_shared<Done>(std::move(done));
+        const bool ok = wal_.append(
+            entries, [done_sp](uint64_t) { (*done_sp)(true); });
+        if (!ok) {
+          // Log full: checkpoint and retry shortly.
+          maybe_checkpoint();
+          client_.loop().schedule_after(
+              sim::usec(200),
+              [this, key, value = std::move(value), done_sp,
+               alive = alive_]() mutable {
+                if (!*alive) return;
+                put(key, std::move(value),
+                    [done_sp](bool ok2) { (*done_sp)(ok2); });
+              });
+          return;
+        }
+        maybe_checkpoint();
+      });
+}
+
+void KvStore::maybe_checkpoint() {
+  if (checkpoint_running_) return;
+  if (static_cast<double>(wal_.used_bytes()) <
+      cfg_.checkpoint_threshold * static_cast<double>(cfg_.layout.log_size)) {
+    return;
+  }
+  checkpoint_running_ = true;
+  ++checkpoints_;
+  // Drain until half the threshold, one record at a time, off the
+  // critical path (appends continue concurrently).
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, step, alive = alive_] {
+    if (!*alive) return;
+    const bool below =
+        static_cast<double>(wal_.used_bytes()) <
+        cfg_.checkpoint_threshold / 2 * static_cast<double>(cfg_.layout.log_size);
+    if (below || !wal_.execute_and_advance([step] { (*step)(); })) {
+      checkpoint_running_ = false;
+      // Break the step<->closure cycle without destroying the closure
+      // while it is executing: clear it on the next event.
+      client_.loop().schedule_after(0, [step] { *step = nullptr; });
+    }
+  };
+  (*step)();
+}
+
+void KvStore::insert(uint64_t key, std::vector<uint8_t> value, Done done) {
+  put(key, std::move(value), std::move(done));
+}
+
+void KvStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
+  put(key, std::move(value), std::move(done));
+}
+
+void KvStore::read(uint64_t key, ReadDone done) {
+  client_.sched().submit(client_pid_, cfg_.op_cpu,
+                         [this, key, done = std::move(done)] {
+                           const auto* v = memtable_.find(key);
+                           if (v == nullptr) {
+                             done(false, {});
+                           } else {
+                             done(true, *v);
+                           }
+                         });
+}
+
+void KvStore::scan(uint64_t key, int count, Done done) {
+  const auto cpu =
+      cfg_.op_cpu + sim::nsec(300) * static_cast<sim::Duration>(count);
+  client_.sched().submit(client_pid_, cpu, [this, key, count,
+                                            done = std::move(done)] {
+    auto it = memtable_.seek(key);
+    int n = 0;
+    while (it.valid() && n < count) {
+      it.next();
+      ++n;
+    }
+    done(n > 0);
+  });
+}
+
+void KvStore::read_modify_write(uint64_t key, std::vector<uint8_t> value,
+                                Done done) {
+  read(key, [this, key, value = std::move(value), done = std::move(done)](
+                bool ok, std::vector<uint8_t>) mutable {
+    if (!ok) {
+      done(false);
+      return;
+    }
+    put(key, std::move(value), std::move(done));
+  });
+}
+
+bool KvStore::replica_read(size_t replica, uint64_t key,
+                           std::vector<uint8_t>* value) const {
+  const auto* v = replica_tables_.at(replica).table.find(key);
+  if (v == nullptr) return false;
+  if (value != nullptr) *value = *v;
+  return true;
+}
+
+void KvStore::replica_sync_tick(size_t i) {
+  ReplicaState& r = replica_tables_[i];
+  r.server->loop().schedule_after(cfg_.sync_period, [this, i, alive = alive_] {
+    if (!*alive) return;
+    ReplicaState& rs = replica_tables_[i];
+    // Read this replica's durable tail pointer from its own region.
+    uint64_t tail = 0;
+    group_.replica_load(i, core::RegionLayout::kTailOffset, &tail, 8);
+
+    uint64_t new_records = 0;
+    uint64_t v = rs.applied;
+    const auto& lay = cfg_.layout;
+    auto log_phys = [&](uint64_t off) {
+      return lay.log_base() + (off % lay.log_size);
+    };
+    while (v < tail) {
+      // [magic u32][num u32][lsn u64][total u32][crc u32]
+      uint32_t magic = 0, total = 0, num = 0;
+      group_.replica_load(i, log_phys(v), &magic, 4);
+      group_.replica_load(i, log_phys(v) + 16, &total, 4);
+      if (magic == 0x57524150 /* WRAP */) {
+        v += total;
+        continue;
+      }
+      if (magic != 0x57414C21 /* WAL! */ || total == 0) break;
+      group_.replica_load(i, log_phys(v) + 4, &num, 4);
+      uint64_t p = v + 24;  // first entry header
+      for (uint32_t e = 0; e < num; ++e) {
+        uint64_t db_off = 0;
+        uint32_t len = 0;
+        group_.replica_load(i, log_phys(p), &db_off, 8);
+        group_.replica_load(i, log_phys(p) + 8, &len, 4);
+        // Slot payload: [key u64][len u32][pad][value...]
+        if (len >= 16) {
+          uint64_t key = 0;
+          uint32_t vlen = 0;
+          group_.replica_load(i, log_phys(p + 16), &key, 8);
+          group_.replica_load(i, log_phys(p + 24), &vlen, 4);
+          std::vector<uint8_t> val(vlen);
+          group_.replica_load(i, log_phys(p + 32), val.data(), vlen);
+          rs.table.insert(key, std::move(val));
+        }
+        p += 16 + ((len + 7) & ~uint64_t{7});
+      }
+      v += total;
+      ++new_records;
+    }
+    rs.applied = v;
+    if (new_records > 0) {
+      // Charge the off-path CPU the sync actually used.
+      rs.server->sched().submit(
+          rs.pid,
+          cfg_.sync_cpu_per_record * static_cast<sim::Duration>(new_records));
+    }
+    replica_sync_tick(i);
+  });
+}
+
+void KvStore::recover() {
+  memtable_.clear();
+  // 1) Replay the committed log into the DB area (idempotent redo).
+  core::ReplicatedWal::replay(
+      cfg_.layout,
+      [this](uint64_t off, void* dst, uint32_t len) {
+        group_.client_load(off, dst, len);
+      },
+      [this](uint64_t off, const void* src, uint32_t len) {
+        group_.client_store(off, src, len);
+      });
+  // 2) Scan DB-area slots.
+  const uint64_t slots = cfg_.layout.db_size() / slot_stride();
+  for (uint64_t s = 0; s < slots; ++s) {
+    const uint64_t off = cfg_.layout.db_base() + s * slot_stride();
+    uint64_t key = 0;
+    uint32_t len = 0;
+    group_.client_load(off, &key, 8);
+    group_.client_load(off + 8, &len, 4);
+    if (len == 0 || len > cfg_.value_size) continue;
+    if (key != s) continue;  // never-written slot
+    std::vector<uint8_t> val(len);
+    group_.client_load(off + 16, val.data(), len);
+    memtable_.insert(key, std::move(val));
+  }
+  wal_.reload_pointers();
+}
+
+void KvStore::bulk_load(uint64_t n) {
+  // Control-path load: fill client memtable + region image, replicate the
+  // DB area in large chunks, and seed the replica tables directly.
+  for (uint64_t k = 0; k < n; ++k) {
+    auto value = WorkloadGenerator::value_for(k, cfg_.value_size);
+    const auto slot = encode_slot(k, value);
+    group_.client_store(cfg_.layout.db_base() + slot_offset(k), slot.data(),
+                        static_cast<uint32_t>(slot.size()));
+    memtable_.insert(k, std::move(value));
+  }
+  const uint64_t total = n * slot_stride();
+  const uint32_t chunk = 256 << 10;
+  for (uint64_t off = 0; off < total; off += chunk) {
+    const auto len = static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
+    group_.gwrite(cfg_.layout.db_base() + off, len, /*flush=*/true, [] {});
+  }
+  for (auto& r : replica_tables_) r.table.copy_from(memtable_);
+}
+
+}  // namespace hyperloop::apps

@@ -1,0 +1,110 @@
+// Replicated embedded key-value store — the RocksDB case study (§5.1).
+//
+// Architecture, mirroring the paper's modified RocksDB:
+//   - The client (the process embedding the library) serves all requests
+//     from an in-memory table and appends every write to a *replicated*
+//     durable WAL via Append (gWRITE + gFLUSH). That append is the entire
+//     critical path of a write.
+//   - Replicas wake up periodically (off the critical path) to bring
+//     their in-memory tables in sync with the replicated log, so reads
+//     from replicas are eventually consistent (§5.1).
+//   - When the log fills beyond a threshold, the store checkpoints: it
+//     ExecuteAndAdvance's records into the database area (the "dump
+//     in-memory data and truncate the log" cycle), off the critical path.
+//   - Recovery: rebuild the table from the database area plus a replay of
+//     the committed log suffix.
+//
+// Records are fixed-stride slots in the DB area, indexed by the dense
+// YCSB key: [key u64][len u32][pad u32][value bytes].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/kvstore/skiplist.h"
+#include "apps/storage_engine.h"
+#include "core/server.h"
+#include "core/wal.h"
+
+namespace hyperloop::apps {
+
+class KvStore : public StorageEngine {
+ public:
+  struct Config {
+    core::RegionLayout layout;
+    uint32_t value_size = 1024;
+    /// CPU per operation on the client process (serialize + memtable).
+    sim::Duration op_cpu = sim::usec(2);
+    /// Replica memtable sync cadence and per-record cost.
+    sim::Duration sync_period = sim::msec(1);
+    sim::Duration sync_cpu_per_record = sim::usec(1);
+    bool replicas_sync = true;
+    /// Checkpoint (execute + truncate) when log use crosses this.
+    double checkpoint_threshold = 0.5;
+  };
+
+  /// `client` must be the coordinator server of `group`; `replica_servers`
+  /// are the replica machines (used to run the off-path sync processes).
+  KvStore(core::ReplicationGroup& group, core::Server& client,
+          std::vector<core::Server*> replica_servers, Config cfg);
+  ~KvStore() override;
+
+  // StorageEngine ---------------------------------------------------------
+  void insert(uint64_t key, std::vector<uint8_t> value, Done done) override;
+  void update(uint64_t key, std::vector<uint8_t> value, Done done) override;
+  void read(uint64_t key, ReadDone done) override;
+  void scan(uint64_t key, int count, Done done) override;
+  void read_modify_write(uint64_t key, std::vector<uint8_t> value,
+                         Done done) override;
+
+  /// Eventually-consistent read from a replica's memtable.
+  bool replica_read(size_t replica, uint64_t key,
+                    std::vector<uint8_t>* value) const;
+
+  /// Number of records a replica's memtable currently holds.
+  size_t replica_record_count(size_t replica) const {
+    return replica_tables_.at(replica).table.size();
+  }
+
+  /// Rebuilds the client memtable from the durable region image (crash
+  /// recovery): DB-area scan plus committed-log replay.
+  void recover();
+
+  /// Loads `n` initial records synchronously (bulk load before a bench);
+  /// returns once all appends are issued — run the loop to quiesce.
+  void bulk_load(uint64_t n);
+
+  core::ReplicatedWal& wal() { return wal_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+
+ private:
+  struct ReplicaState {
+    core::Server* server = nullptr;
+    sim::ProcessId pid = 0;
+    uint64_t applied = 0;  ///< virtual log offset already applied
+    SkipList table;
+  };
+
+  uint64_t slot_stride() const { return 16 + cfg_.value_size; }
+  uint64_t slot_offset(uint64_t key) const { return key * slot_stride(); }
+  std::vector<uint8_t> encode_slot(uint64_t key,
+                                   const std::vector<uint8_t>& value) const;
+
+  void put(uint64_t key, std::vector<uint8_t> value, Done done);
+  void maybe_checkpoint();
+  void replica_sync_tick(size_t i);
+
+  core::ReplicationGroup& group_;
+  core::Server& client_;
+  Config cfg_;
+  core::ReplicatedWal wal_;
+  sim::ProcessId client_pid_;
+  SkipList memtable_;
+  std::vector<ReplicaState> replica_tables_;
+  uint64_t checkpoints_ = 0;
+  bool checkpoint_running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hyperloop::apps

@@ -1,0 +1,29 @@
+// The asynchronous storage-engine interface the YCSB driver targets.
+// Both the KV store (RocksDB analogue) and the document store (MongoDB
+// analogue) implement it, over any replication backend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hyperloop::apps {
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  using Done = std::function<void(bool ok)>;
+  using ReadDone = std::function<void(bool ok, std::vector<uint8_t> value)>;
+
+  virtual void insert(uint64_t key, std::vector<uint8_t> value, Done done) = 0;
+  virtual void update(uint64_t key, std::vector<uint8_t> value, Done done) = 0;
+  virtual void read(uint64_t key, ReadDone done) = 0;
+  /// Range scan of up to `count` records starting at `key` (YCSB-E).
+  virtual void scan(uint64_t key, int count, Done done) = 0;
+  /// Read-modify-write (YCSB-F "modify").
+  virtual void read_modify_write(uint64_t key, std::vector<uint8_t> value,
+                                 Done done) = 0;
+};
+
+}  // namespace hyperloop::apps

@@ -1,0 +1,57 @@
+// Closed-loop YCSB driver: N logical client threads issue operations
+// against a StorageEngine, each waiting for its previous operation to
+// complete (optionally with think time). Latency is recorded per op type
+// in simulated time, which is what the paper's Figures 11/12 plot.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "apps/storage_engine.h"
+#include "apps/ycsb/workload.h"
+#include "sim/event_loop.h"
+#include "stats/histogram.h"
+
+namespace hyperloop::apps {
+
+class YcsbDriver {
+ public:
+  struct Config {
+    int threads = 4;
+    uint64_t total_ops = 10000;
+    sim::Duration think_time = 0;
+  };
+
+  YcsbDriver(sim::EventLoop& loop, StorageEngine& engine,
+             WorkloadGenerator& workload, Config cfg);
+
+  /// Starts all threads; `on_complete` fires when total_ops have finished.
+  void start(std::function<void()> on_complete);
+
+  const stats::Histogram& latency(OpType t) const {
+    return latency_[static_cast<size_t>(t)];
+  }
+  /// All operation types merged.
+  stats::Histogram overall() const;
+  /// Insert+update+rmw merged (the paper's "insert/update" statements).
+  stats::Histogram writes() const;
+
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  void thread_loop();
+  void finish_op(OpType t, sim::Time started, bool ok);
+
+  sim::EventLoop& loop_;
+  StorageEngine& engine_;
+  WorkloadGenerator& workload_;
+  Config cfg_;
+  std::array<stats::Histogram, 5> latency_;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace hyperloop::apps

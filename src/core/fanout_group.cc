@@ -1,0 +1,579 @@
+#include "core/fanout_group.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperloop::core {
+
+using rdma::Addr;
+using rdma::Opcode;
+using rdma::RecvWqe;
+using rdma::Sge;
+using rdma::Wqe;
+using rdma::WqeDescriptor;
+
+namespace {
+
+Wqe placeholder() {
+  Wqe w = rdma::make_nop();
+  w.signaled = 1;
+  return w;
+}
+
+constexpr uint64_t kCasTag = uint64_t{1} << 62;
+
+}  // namespace
+
+FanoutGroup::FanoutGroup(Server& client, std::vector<Server*> replicas,
+                         Config cfg)
+    : client_(client), cfg_(cfg) {
+  assert(replicas.size() >= 2 && "fan-out needs a primary and >=1 backup");
+  assert(cfg_.max_inflight * 2 <= cfg_.ring_slots);
+  primary_.server = replicas[0];
+  backups_.resize(replicas.size() - 1);
+  for (size_t b = 0; b < backups_.size(); ++b) {
+    backups_[b].server = replicas[b + 1];
+    backups_[b].index = b;
+  }
+
+  client_region_ = client_.nvm().alloc(cfg_.region_size, 4096);
+  const size_t K = backups_.size();
+  client_staging_slot_ = static_cast<uint32_t>(kDescBytes * 3 * (1 + 2 * K));
+  client_staging_ = client_.mem().alloc(
+      uint64_t{client_staging_slot_} * cfg_.max_inflight * 2, 64);
+  const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+  ack_base_ =
+      client_.mem().alloc(uint64_t{ack_stride} * cfg_.max_inflight * 2, 64);
+  ack_mr_ = client_.nic().register_mr(
+      ack_base_, uint64_t{ack_stride} * cfg_.max_inflight * 2,
+      rdma::kRemoteWrite | rdma::kLocalWrite);
+
+  cq_down_ = client_.nic().create_cq();
+  cq_up_ = client_.nic().create_cq();
+  qp_down_ =
+      client_.nic().create_qp(cq_down_, nullptr, cfg_.max_inflight * 4 + 16);
+
+  setup_primary();
+  for (size_t b = 0; b < K; ++b) setup_backup(b);
+  wire();
+
+  for (uint64_t s = 0; s < cfg_.ring_slots; ++s) {
+    rearm_primary_slot(s);
+    for (size_t b = 0; b < K; ++b) rearm_backup_slot(b, s);
+  }
+  primary_.next_rearm = cfg_.ring_slots;
+  for (auto& b : backups_) b.next_rearm = cfg_.ring_slots;
+
+  cq_up_->set_notify([this] { on_ack_cqe(); });
+  cq_up_->arm_notify();
+  cq_down_->set_notify([this] { on_ack_cqe(); });
+  cq_down_->arm_notify();
+
+  if (cfg_.refill_via_cpu) {
+    primary_.refill_pid = primary_.server->sched().create_process(
+        primary_.server->name() + "-fanout-refill");
+    for (auto& b : backups_) {
+      b.refill_pid = b.server->sched().create_process(
+          b.server->name() + "-fanout-refill");
+    }
+  }
+  refill_tick_primary();
+  for (size_t b = 0; b < K; ++b) refill_tick_backup(b);
+}
+
+FanoutGroup::~FanoutGroup() { stopped_ = true; }
+
+// ------------------------------------------------------------------ setup --
+
+void FanoutGroup::setup_primary() {
+  rdma::Nic& nic = primary_.server->nic();
+  rdma::HostMemory& mem = primary_.server->mem();
+  const size_t K = backups_.size();
+
+  primary_.data_base = primary_.server->nvm().alloc(cfg_.region_size, 4096);
+  primary_.data_mr = nic.register_mr(
+      primary_.data_base, cfg_.region_size,
+      rdma::kRemoteRead | rdma::kRemoteWrite | rdma::kRemoteAtomic |
+          rdma::kLocalWrite);
+
+  const size_t arena_start = mem.used();
+  primary_.staging_slot = static_cast<uint32_t>(K * 3 * kDescBytes);
+  primary_.staging_base =
+      mem.alloc(uint64_t{primary_.staging_slot} * cfg_.ring_slots, 64);
+
+  primary_.cq_recv = nic.create_cq();
+  primary_.qp_prev = nic.create_qp(nullptr, primary_.cq_recv, cfg_.ring_slots);
+  primary_.cq_loop = nic.create_cq();
+  primary_.qp_loop = nic.create_loopback_qp(primary_.cq_loop,
+                                            cfg_.ring_slots * 3);
+  for (size_t b = 0; b < K; ++b) {
+    primary_.cq_out.push_back(nic.create_cq());
+    primary_.qp_out.push_back(
+        nic.create_qp(primary_.cq_out[b], nullptr, cfg_.ring_slots * 4));
+  }
+  // The primary's own ACK rides the last out-queue pair... no: a
+  // dedicated ack QP keeps thresholds simple.
+  primary_.cq_out.push_back(nic.create_cq());
+  primary_.qp_out.push_back(
+      nic.create_qp(primary_.cq_out[K], nullptr, cfg_.ring_slots * 2));
+
+  const size_t arena_end = mem.used();
+  primary_.ring_lkey =
+      nic.register_mr(arena_start, arena_end - arena_start, rdma::kLocalWrite)
+          .lkey;
+}
+
+void FanoutGroup::setup_backup(size_t bi) {
+  Backup& b = backups_[bi];
+  rdma::Nic& nic = b.server->nic();
+  rdma::HostMemory& mem = b.server->mem();
+
+  b.data_base = b.server->nvm().alloc(cfg_.region_size, 4096);
+  b.data_mr = nic.register_mr(
+      b.data_base, cfg_.region_size,
+      rdma::kRemoteRead | rdma::kRemoteWrite | rdma::kRemoteAtomic |
+          rdma::kLocalWrite);
+
+  const size_t arena_start = mem.used();
+  b.result_base = mem.alloc(uint64_t{8} * cfg_.ring_slots, 64);
+  b.cq_recv = nic.create_cq();
+  b.qp_prev = nic.create_qp(nullptr, b.cq_recv, cfg_.ring_slots);
+  b.cq_loop = nic.create_cq();
+  b.qp_loop = nic.create_loopback_qp(b.cq_loop, cfg_.ring_slots * 3);
+  b.cq_ack = nic.create_cq();
+  b.qp_ack = nic.create_qp(b.cq_ack, nullptr, cfg_.ring_slots * 2);
+  const size_t arena_end = mem.used();
+  b.ring_lkey =
+      nic.register_mr(arena_start, arena_end - arena_start, rdma::kLocalWrite)
+          .lkey;
+}
+
+void FanoutGroup::wire() {
+  const size_t K = backups_.size();
+  // client <-> primary.
+  client_.nic().connect(qp_down_, primary_.server->nic().id(),
+                        primary_.qp_prev->qpn);
+  primary_.server->nic().connect(primary_.qp_prev, client_.nic().id(),
+                                 qp_down_->qpn);
+  // primary out QPs: [0..K-1] to the backups, [K] = ack QP to the client.
+  for (size_t b = 0; b < K; ++b) {
+    rdma::QueuePair* up =
+        client_.nic().create_qp(nullptr, cq_up_, 8);  // per-backup ack sink
+    primary_.server->nic().connect(primary_.qp_out[b],
+                                   backups_[b].server->nic().id(),
+                                   backups_[b].qp_prev->qpn);
+    backups_[b].server->nic().connect(backups_[b].qp_prev,
+                                      primary_.server->nic().id(),
+                                      primary_.qp_out[b]->qpn);
+    backups_[b].server->nic().connect(backups_[b].qp_ack, client_.nic().id(),
+                                      up->qpn);
+    client_.nic().connect(up, backups_[b].server->nic().id(),
+                          backups_[b].qp_ack->qpn);
+    for (uint32_t s = 0; s < cfg_.max_inflight * 2; ++s) {
+      client_.nic().post_recv(up, RecvWqe{});
+    }
+  }
+  rdma::QueuePair* pup = client_.nic().create_qp(nullptr, cq_up_, 8);
+  primary_.server->nic().connect(primary_.qp_out[K], client_.nic().id(),
+                                 pup->qpn);
+  client_.nic().connect(pup, primary_.server->nic().id(),
+                        primary_.qp_out[K]->qpn);
+  for (uint32_t s = 0; s < cfg_.max_inflight * 2; ++s) {
+    client_.nic().post_recv(pup, RecvWqe{});
+  }
+  qp_up_ = pup;
+}
+
+void FanoutGroup::rearm_primary_slot(uint64_t seq) {
+  rdma::Nic& nic = primary_.server->nic();
+  const size_t K = backups_.size();
+  RecvWqe recv;
+  auto desc_sge = [&](rdma::QueuePair* qp, uint64_t wqe_seq) {
+    recv.sges.push_back(
+        Sge{qp->slot_addr(wqe_seq), kDescBytes, primary_.ring_lkey});
+  };
+
+  // Loopback executor: [WAIT][OP][FLUSH].
+  nic.post_send(primary_.qp_loop,
+                rdma::make_wait(primary_.cq_recv->id(), seq + 1));
+  nic.post_send(primary_.qp_loop, placeholder(), true);  // OP
+  nic.post_send(primary_.qp_loop, placeholder(), true);  // FLUSH
+  desc_sge(primary_.qp_loop, 3 * seq + 1);
+  desc_sge(primary_.qp_loop, 3 * seq + 2);
+
+  // Primary ACK: [WAIT(loop >= 2(k+1))][ACK].
+  nic.post_send(primary_.qp_out[K],
+                rdma::make_wait(primary_.cq_loop->id(), 2 * (seq + 1)));
+  nic.post_send(primary_.qp_out[K], placeholder(), true);  // ACK
+  desc_sge(primary_.qp_out[K], 2 * seq + 1);
+
+  // Per-backup forward: [WAIT(recv >= k+1)][WRITE][FLUSH][SEND].
+  for (size_t b = 0; b < K; ++b) {
+    nic.post_send(primary_.qp_out[b],
+                  rdma::make_wait(primary_.cq_recv->id(), seq + 1));
+    nic.post_send(primary_.qp_out[b], placeholder(), true);  // WRITE
+    nic.post_send(primary_.qp_out[b], placeholder(), true);  // FLUSH
+    nic.post_send(primary_.qp_out[b], placeholder(), true);  // SEND
+    desc_sge(primary_.qp_out[b], 4 * seq + 1);
+    desc_sge(primary_.qp_out[b], 4 * seq + 2);
+    desc_sge(primary_.qp_out[b], 4 * seq + 3);
+  }
+  // Staging: the K per-backup blobs.
+  recv.sges.push_back(Sge{
+      primary_.staging_base + (seq % cfg_.ring_slots) * primary_.staging_slot,
+      primary_.staging_slot, primary_.ring_lkey});
+  recv.wr_id = seq;
+  nic.post_recv(primary_.qp_prev, std::move(recv));
+}
+
+void FanoutGroup::rearm_backup_slot(size_t bi, uint64_t seq) {
+  Backup& b = backups_[bi];
+  rdma::Nic& nic = b.server->nic();
+  // Clear the CAS result slot so execute-map-skipped replicas report 0.
+  const uint64_t zero = 0;
+  b.server->mem().write(b.result_base + (seq % cfg_.ring_slots) * 8, &zero, 8);
+
+  RecvWqe recv;
+  auto desc_sge = [&](rdma::QueuePair* qp, uint64_t wqe_seq) {
+    recv.sges.push_back(Sge{qp->slot_addr(wqe_seq), kDescBytes, b.ring_lkey});
+  };
+  nic.post_send(b.qp_loop, rdma::make_wait(b.cq_recv->id(), seq + 1));
+  nic.post_send(b.qp_loop, placeholder(), true);  // OP
+  nic.post_send(b.qp_loop, placeholder(), true);  // FLUSH
+  nic.post_send(b.qp_ack, rdma::make_wait(b.cq_loop->id(), 2 * (seq + 1)));
+  nic.post_send(b.qp_ack, placeholder(), true);  // ACK
+  desc_sge(b.qp_loop, 3 * seq + 1);
+  desc_sge(b.qp_loop, 3 * seq + 2);
+  desc_sge(b.qp_ack, 2 * seq + 1);
+  recv.wr_id = seq;
+  nic.post_recv(b.qp_prev, std::move(recv));
+}
+
+void FanoutGroup::refill_tick_primary() {
+  primary_.server->loop().schedule_after(cfg_.refill_period, [this] {
+    if (stopped_) return;
+    auto work = [this] {
+      if (stopped_) return;
+      const size_t K = backups_.size();
+      while (true) {
+        const uint64_t j = primary_.next_rearm - cfg_.ring_slots;
+        bool done = primary_.cq_out[K]->completion_count() >= j + 1;
+        for (size_t b = 0; b < K && done; ++b) {
+          done = primary_.cq_out[b]->completion_count() >= 3 * (j + 1);
+        }
+        if (!done) break;
+        rearm_primary_slot(primary_.next_rearm);
+        ++primary_.next_rearm;
+      }
+      refill_tick_primary();
+    };
+    if (cfg_.refill_via_cpu) {
+      primary_.server->sched().submit(primary_.refill_pid, cfg_.refill_cpu,
+                                      work);
+    } else {
+      work();
+    }
+  });
+}
+
+void FanoutGroup::refill_tick_backup(size_t bi) {
+  Backup& b = backups_[bi];
+  b.server->loop().schedule_after(cfg_.refill_period, [this, bi] {
+    if (stopped_) return;
+    auto work = [this, bi] {
+      if (stopped_) return;
+      Backup& bb = backups_[bi];
+      while (bb.cq_ack->completion_count() >=
+             bb.next_rearm - cfg_.ring_slots + 1) {
+        rearm_backup_slot(bi, bb.next_rearm);
+        ++bb.next_rearm;
+      }
+      refill_tick_backup(bi);
+    };
+    if (cfg_.refill_via_cpu) {
+      Backup& bb = backups_[bi];
+      bb.server->sched().submit(bb.refill_pid, cfg_.refill_cpu, work);
+    } else {
+      work();
+    }
+  });
+}
+
+// ------------------------------------------------------------ blob build --
+
+rdma::WqeDescriptor FanoutGroup::nop_desc() const {
+  WqeDescriptor d;
+  d.opcode = static_cast<uint8_t>(Opcode::kNop);
+  d.active = 1;
+  return d;
+}
+
+rdma::WqeDescriptor FanoutGroup::backup_ack_desc(size_t b, uint64_t seq,
+                                                 const OpSpec& op) {
+  const size_t K = backups_.size();
+  const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+  const Addr slot =
+      ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride + 8 * (1 + b);
+  WqeDescriptor d = rdma::make_write_imm(0, 0, slot, ack_mr_.rkey, 0,
+                                         static_cast<uint32_t>(seq))
+                        .d;
+  if (op.kind == 2) {
+    // Carry the 8-byte CAS result.
+    d.local_addr =
+        backups_[b].result_base + (seq % cfg_.ring_slots) * 8;
+    d.lkey = backups_[b].ring_lkey;
+    d.length = 8;
+  }
+  d.active = 1;
+  return d;
+}
+
+std::vector<uint8_t> FanoutGroup::build_blob(uint64_t seq, const OpSpec& op) {
+  const size_t K = backups_.size();
+  std::vector<uint8_t> blob(3 * kDescBytes * (1 + 2 * K));
+  uint8_t* out = blob.data();
+  auto put = [&out](WqeDescriptor d) {
+    d.active = 1;
+    std::memcpy(out, &d, kDescBytes);
+    out += kDescBytes;
+  };
+
+  // Primary loopback [OP][FLUSH] and primary [ACK].
+  if (op.kind == 1) {
+    put(rdma::make_local_copy(primary_.data_base + op.offset,
+                              primary_.data_base + op.dst, op.len)
+            .d);
+    put(op.flush ? rdma::make_flush(0, 0).d : nop_desc());
+  } else {
+    put(nop_desc());
+    put(nop_desc());
+  }
+  {
+    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+    put(rdma::make_write_imm(
+            0, 0, ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
+            ack_mr_.rkey, 0, static_cast<uint32_t>(seq))
+            .d);
+  }
+
+  // Per-backup forward triples on the primary.
+  for (size_t b = 0; b < K; ++b) {
+    const Backup& bb = backups_[b];
+    if (op.kind == 0) {
+      put(rdma::make_write(primary_.data_base + op.offset, 0,
+                           bb.data_base + op.offset, bb.data_mr.rkey, op.len)
+              .d);
+      put(op.flush ? rdma::make_flush(bb.data_base, bb.data_mr.rkey).d
+                   : nop_desc());
+    } else {
+      put(nop_desc());
+      put(nop_desc());
+    }
+    put(rdma::make_send(
+            primary_.staging_base +
+                (seq % cfg_.ring_slots) * primary_.staging_slot +
+                b * 3 * kDescBytes,
+            primary_.ring_lkey, 3 * kDescBytes)
+            .d);
+  }
+
+  // Per-backup blobs (forwarded by the SENDs above): [OP][FLUSH][ACK].
+  for (size_t b = 0; b < K; ++b) {
+    const Backup& bb = backups_[b];
+    if (op.kind == 1) {
+      put(rdma::make_local_copy(bb.data_base + op.offset,
+                                bb.data_base + op.dst, op.len)
+              .d);
+      put(op.flush ? rdma::make_flush(0, 0).d : nop_desc());
+    } else if (op.kind == 2 && b + 1 < op.exec.size() && op.exec[b + 1]) {
+      put(rdma::make_cas(bb.result_base + (seq % cfg_.ring_slots) * 8,
+                         bb.ring_lkey, bb.data_base + op.offset,
+                         bb.data_mr.rkey, op.expected, op.desired)
+              .d);
+      put(nop_desc());
+    } else {
+      put(nop_desc());
+      put(nop_desc());
+    }
+    put(backup_ack_desc(b, seq, op));
+  }
+  return blob;
+}
+
+// ------------------------------------------------------------ client path --
+
+void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
+  if (inflight_ >= cfg_.max_inflight) {
+    waiting_.push_back([this, op = std::move(op),
+                        on_acks = std::move(on_acks)]() mutable {
+      issue(std::move(op), std::move(on_acks));
+    });
+    return;
+  }
+  ++inflight_;
+  const uint64_t seq = next_seq_++;
+  const size_t K = backups_.size();
+
+  PendingOp pend;
+  pend.acks_needed = static_cast<uint32_t>(1 + K);  // primary + backups
+  if (op.kind == 2 && !op.exec.empty() && op.exec[0]) ++pend.acks_needed;
+  pend.on_complete = [seq, on_acks = std::move(on_acks)] { on_acks(seq); };
+  pending_.emplace(static_cast<uint32_t>(seq), std::move(pend));
+  if (op.kind == 2) {
+    // Clear the result slot so skipped replicas (and a skipped primary)
+    // report 0 rather than a stale value from a previous ring lap.
+    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+    std::vector<uint8_t> zeros(ack_stride, 0);
+    client_.mem().write(
+        ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
+        zeros.data(), ack_stride);
+  }
+
+  // Client-side direct work against the primary.
+  if (op.kind == 0) {
+    if (op.len > 0) {
+      client_.nic().post_send(
+          qp_down_,
+          rdma::make_write(client_region_ + op.offset, 0,
+                           primary_.data_base + op.offset,
+                           primary_.data_mr.rkey, op.len));
+    }
+    if (op.flush) {
+      client_.nic().post_send(
+          qp_down_,
+          rdma::make_flush(primary_.data_base, primary_.data_mr.rkey));
+    }
+  } else if (op.kind == 1) {
+    client_.mem().copy(client_region_ + op.dst, client_region_ + op.offset,
+                       op.len);
+    client_.nvm().persist(client_region_ + op.dst, op.len);
+  } else if (op.kind == 2 && !op.exec.empty() && op.exec[0]) {
+    // One-sided CAS against the primary; the result lands in the ack slot
+    // (index 0) so the assembly code reads all results from one place.
+    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+    Wqe cas = rdma::make_cas(
+        ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
+        ack_mr_.lkey, primary_.data_base + op.offset, primary_.data_mr.rkey,
+        op.expected, op.desired, kCasTag | seq);
+    client_.nic().post_send(qp_down_, cas);
+  }
+
+  // Metadata SEND that triggers the primary's fan-out.
+  const auto blob = build_blob(seq, op);
+  const Addr slot =
+      client_staging_ + (seq % (cfg_.max_inflight * 2)) * client_staging_slot_;
+  client_.mem().write(slot, blob.data(), blob.size());
+  client_.nic().post_send(
+      qp_down_, rdma::make_send(slot, 0, static_cast<uint32_t>(blob.size())));
+}
+
+void FanoutGroup::on_ack_cqe() {
+  rdma::Cqe cqe;
+  auto count_event = [this](uint32_t seq) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    if (--it->second.acks_needed > 0) return;
+    auto handler = std::move(it->second.on_complete);
+    pending_.erase(it);
+    --inflight_;
+    handler();
+    if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
+      auto next = std::move(waiting_.front());
+      waiting_.pop_front();
+      next();
+    }
+  };
+  while (cq_up_->poll(&cqe)) {
+    if (!cqe.has_imm) continue;
+    client_.nic().post_recv(client_.nic().qp(cqe.qpn), RecvWqe{});
+    count_event(cqe.imm);
+  }
+  while (cq_down_->poll(&cqe)) {
+    if ((cqe.wr_id & kCasTag) != 0) {
+      count_event(static_cast<uint32_t>(cqe.wr_id & 0xffffffffu));
+    }
+  }
+  cq_up_->arm_notify();
+  cq_down_->arm_notify();
+}
+
+// ------------------------------------------------------------- primitives --
+
+void FanoutGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
+                         Done done) {
+  assert(offset + len <= cfg_.region_size);
+  OpSpec op;
+  op.kind = 0;
+  op.offset = offset;
+  op.len = len;
+  op.flush = flush;
+  issue(std::move(op), [done = std::move(done)](uint64_t) { done(); });
+}
+
+void FanoutGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
+                          uint32_t len, bool flush, Done done) {
+  assert(src_offset + len <= cfg_.region_size);
+  assert(dst_offset + len <= cfg_.region_size);
+  OpSpec op;
+  op.kind = 1;
+  op.offset = src_offset;
+  op.dst = dst_offset;
+  op.len = len;
+  op.flush = flush;
+  issue(std::move(op), [done = std::move(done)](uint64_t) { done(); });
+}
+
+void FanoutGroup::gcas(uint64_t offset, uint64_t expected, uint64_t desired,
+                       const std::vector<bool>& exec_map, CasDone done) {
+  assert(offset + 8 <= cfg_.region_size);
+  OpSpec op;
+  op.kind = 2;
+  op.offset = offset;
+  op.expected = expected;
+  op.desired = desired;
+  op.exec = exec_map;
+  op.exec.resize(group_size(), false);
+  issue(std::move(op), [this, done = std::move(done)](uint64_t seq) {
+    const size_t K = backups_.size();
+    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+    std::vector<uint64_t> result(1 + K);
+    client_.mem().read(
+        ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
+        result.data(), ack_stride);
+    done(result);
+  });
+}
+
+void FanoutGroup::gflush(Done done) { gwrite(0, 0, true, std::move(done)); }
+
+void FanoutGroup::client_store(uint64_t offset, const void* src,
+                               uint32_t len) {
+  assert(offset + len <= cfg_.region_size);
+  client_.mem().write(client_region_ + offset, src, len);
+  client_.nvm().persist(client_region_ + offset, len);
+}
+
+void FanoutGroup::client_load(uint64_t offset, void* dst,
+                              uint32_t len) const {
+  client_.mem().read(client_region_ + offset, dst, len);
+}
+
+void FanoutGroup::replica_load(size_t i, uint64_t offset, void* dst,
+                               uint32_t len) const {
+  if (i == 0) {
+    primary_.server->mem().read(primary_.data_base + offset, dst, len);
+  } else {
+    const Backup& b = backups_.at(i - 1);
+    b.server->mem().read(b.data_base + offset, dst, len);
+  }
+}
+
+uint64_t FanoutGroup::total_rnr_stalls() const {
+  uint64_t n = primary_.server->nic().counters().rnr_stalls;
+  for (const Backup& b : backups_) {
+    n += b.server->nic().counters().rnr_stalls;
+  }
+  return n;
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,173 @@
+// Fan-out NIC-offloaded replication (§7, "Supporting other replication
+// protocols"): the FaRM-style topology where a single primary coordinates
+// K backups, with the coordination offloaded from the primary's CPU to
+// the primary's NIC.
+//
+//   client ──> primary ──> backup 1..K   (parallel, not a chain)
+//
+// Per operation slot the primary pre-posts, for *each* backup QP, a
+// [WAIT(recv_cq >= k+1)] [WRITE] [FLUSH] [SEND] chain — all K WAITs watch
+// the same receive CQ, so one inbound metadata SEND from the client
+// triggers K parallel forwards. Each backup pre-posts a [WAIT][op][ACK]
+// chain that acknowledges the *client* directly with WRITE_WITH_IMM; the
+// client completes an operation once it has collected all K backup ACKs
+// (the primary's own copy is handled by the client's one-sided
+// WRITE/FLUSH/CAS, and by a primary loopback chain for gMEMCPY).
+//
+// Trade-off vs the chain (paper §7): latency is one NIC hop shorter and
+// independent of K at the tail, but the primary's NIC carries K times the
+// write traffic and holds K active write QPs per group — chain replication
+// load-balances this, which is why the paper prefers it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/group.h"
+#include "core/server.h"
+#include "rdma/nic.h"
+
+namespace hyperloop::core {
+
+class FanoutGroup final : public ReplicationGroup {
+ public:
+  struct Config {
+    uint64_t region_size = 4u << 20;
+    uint32_t ring_slots = 512;
+    uint32_t max_inflight = 32;
+    sim::Duration refill_period = sim::usec(100);
+    sim::Duration refill_cpu = sim::usec(1);
+    sim::Duration refill_cpu_per_slot = sim::nsec(150);
+    bool refill_via_cpu = true;
+  };
+
+  /// Replica 0 of `replicas` acts as the primary; the rest are backups.
+  FanoutGroup(Server& client, std::vector<Server*> replicas, Config cfg);
+  ~FanoutGroup() override;
+
+  size_t group_size() const override { return 1 + backups_.size(); }
+  uint64_t region_size() const override { return cfg_.region_size; }
+  void gwrite(uint64_t offset, uint32_t len, bool flush, Done done) override;
+  void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
+               bool flush, Done done) override;
+  void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
+            const std::vector<bool>& exec_map, CasDone done) override;
+  void gflush(Done done) override;
+  void client_store(uint64_t offset, const void* src, uint32_t len) override;
+  void client_load(uint64_t offset, void* dst, uint32_t len) const override;
+  void replica_load(size_t i, uint64_t offset, void* dst,
+                    uint32_t len) const override;
+
+  Server& replica_server(size_t i) {
+    return i == 0 ? *primary_.server : *backups_.at(i - 1).server;
+  }
+  rdma::Addr replica_region_base(size_t i) const {
+    return i == 0 ? primary_.data_base : backups_.at(i - 1).data_base;
+  }
+  uint64_t total_rnr_stalls() const;
+  /// Bytes the primary's NIC transmitted (the fan-out hotspot; compare
+  /// with a chain replica's NIC in bench/ablation_fanout).
+  uint64_t primary_nic_tx_bytes() const {
+    return primary_.server->nic().counters().bytes_tx;
+  }
+
+ private:
+  static constexpr uint32_t kDescBytes = sizeof(rdma::WqeDescriptor);
+
+  struct Primary {
+    Server* server = nullptr;
+    rdma::Addr data_base = 0;
+    rdma::MemoryRegion data_mr{};
+    rdma::QueuePair* qp_prev = nullptr;  ///< from the client
+    rdma::CompletionQueue* cq_recv = nullptr;
+    /// One forwarding QP per backup, plus a loopback executor.
+    std::vector<rdma::QueuePair*> qp_out;
+    std::vector<rdma::CompletionQueue*> cq_out;
+    rdma::QueuePair* qp_loop = nullptr;
+    rdma::CompletionQueue* cq_loop = nullptr;
+    rdma::Addr staging_base = 0;  ///< per-backup forward metadata ring
+    uint32_t staging_slot = 0;
+    uint32_t ring_lkey = 0;
+    uint64_t next_rearm = 0;
+    sim::ProcessId refill_pid = 0;
+  };
+
+  struct Backup {
+    Server* server = nullptr;
+    size_t index = 0;  ///< 0-based backup index
+    rdma::Addr data_base = 0;
+    rdma::MemoryRegion data_mr{};
+    rdma::QueuePair* qp_prev = nullptr;  ///< from the primary
+    rdma::CompletionQueue* cq_recv = nullptr;
+    rdma::QueuePair* qp_ack = nullptr;  ///< to the client
+    rdma::CompletionQueue* cq_ack = nullptr;
+    rdma::QueuePair* qp_loop = nullptr;
+    rdma::CompletionQueue* cq_loop = nullptr;
+    rdma::Addr result_base = 0;  ///< local CAS result ring (8B slots)
+    uint32_t ring_lkey = 0;
+    uint64_t next_rearm = 0;
+    sim::ProcessId refill_pid = 0;
+  };
+
+  struct PendingOp {
+    uint32_t acks_needed = 0;
+    std::function<void()> on_complete;
+    std::vector<uint64_t> cas_results;  ///< gCAS only
+  };
+
+  void setup_primary();
+  void setup_backup(size_t b);
+  void wire();
+  void rearm_primary_slot(uint64_t seq);
+  void rearm_backup_slot(size_t b, uint64_t seq);
+  void refill_tick_primary();
+  void refill_tick_backup(size_t b);
+
+  // Builds the metadata blob the client sends to the primary. Layout:
+  //   [primary loopback op desc][primary loopback flush desc]
+  //   [per backup: fwd WRITE desc][fwd FLUSH desc][fwd SEND desc]
+  // Each forwarded SEND carries that backup's own 3-desc blob
+  // ([op][flush][ack]) staged by the primary's RECV scatter.
+  struct OpSpec {
+    uint8_t kind = 0;  // 0 write, 1 memcpy, 2 cas
+    uint64_t offset = 0, dst = 0;
+    uint32_t len = 0;
+    bool flush = false;
+    uint64_t expected = 0, desired = 0;
+    std::vector<bool> exec;
+  };
+  std::vector<uint8_t> build_blob(uint64_t seq, const OpSpec& op);
+  rdma::WqeDescriptor backup_ack_desc(size_t b, uint64_t seq,
+                                      const OpSpec& op);
+  /// on_acks receives the sequence number the operation was issued as
+  /// (needed to locate its ack/result slot).
+  void issue(OpSpec op, std::function<void(uint64_t)> on_acks);
+  void on_ack_cqe();
+  rdma::WqeDescriptor nop_desc() const;
+
+  Server& client_;
+  Primary primary_;
+  std::vector<Backup> backups_;
+  Config cfg_;
+
+  // Client side.
+  rdma::QueuePair* qp_down_ = nullptr;   ///< to the primary
+  rdma::CompletionQueue* cq_down_ = nullptr;
+  rdma::QueuePair* qp_up_ = nullptr;     ///< ACKs from backups land here
+  rdma::CompletionQueue* cq_up_ = nullptr;
+  rdma::Addr client_region_ = 0;
+  rdma::Addr client_staging_ = 0;
+  uint32_t client_staging_slot_ = 0;
+  rdma::Addr ack_base_ = 0;
+  rdma::MemoryRegion ack_mr_{};
+  uint64_t next_seq_ = 0;
+  uint32_t inflight_ = 0;
+  std::unordered_map<uint32_t, PendingOp> pending_;
+  std::deque<std::function<void()>> waiting_;
+  bool stopped_ = false;
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,89 @@
+// The group-based primitive API (paper Table 1).
+//
+// A ReplicationGroup is the client-side handle to a chain of replicas that
+// all hold an identically laid-out replicated data region. The four
+// primitives mirror Table 1:
+//
+//   gWRITE(offset, size [, flush])        replicate client bytes at offset
+//   gMEMCPY(src, dst, size [, flush])     copy within every replica's region
+//   gCAS(offset, old, new, exec_map)      conditional CAS on every replica,
+//                                         returning the per-replica result map
+//   gFLUSH()                              durability barrier down the chain
+//
+// Two implementations share this interface: HyperLoopGroup (NIC-offloaded,
+// §4) and NaiveRdmaGroup (CPU-forwarded baseline, §6 "Naïve-RDMA"), so the
+// WAL / locking / storage layers above run unchanged on either.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rdma/memory.h"
+
+namespace hyperloop::core {
+
+/// Completion callback for write-like primitives.
+using Done = std::function<void()>;
+
+/// Completion callback for gCAS: per-replica original values (the result
+/// map). Entries for replicas excluded by the execute map are 0.
+using CasDone = std::function<void(const std::vector<uint64_t>&)>;
+
+class ReplicationGroup {
+ public:
+  virtual ~ReplicationGroup() = default;
+
+  /// Number of replicas in the chain (excluding the client).
+  virtual size_t group_size() const = 0;
+
+  /// Size of the replicated data region in bytes.
+  virtual uint64_t region_size() const = 0;
+
+  /// Replicates `len` bytes at `offset` of the client's local region to
+  /// the same offset on every replica. With `flush`, durability is
+  /// guaranteed on every replica before `done` fires.
+  virtual void gwrite(uint64_t offset, uint32_t len, bool flush,
+                      Done done) = 0;
+
+  /// Copies `len` bytes from src_offset to dst_offset within every
+  /// replica's region (remote log processing).
+  virtual void gmemcpy(uint64_t src_offset, uint64_t dst_offset,
+                       uint32_t len, bool flush, Done done) = 0;
+
+  /// Compare-and-swap on the 8 bytes at `offset` on every replica whose
+  /// bit is set in `exec_map` (group locking / selective undo).
+  virtual void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
+                    const std::vector<bool>& exec_map, CasDone done) = 0;
+
+  /// Standalone durability barrier across all replicas.
+  virtual void gflush(Done done) = 0;
+
+  // --- client-local region access (the coordinator's copy) ---
+
+  /// Stores bytes into the client's local copy of the region. Call before
+  /// gwrite() of the same range. The client copy is write-through durable:
+  /// the head of the chain persists its own NVM stores with CPU persist
+  /// instructions (pmem-style), so a coordinator crash never loses locally
+  /// staged log records. Client-side gmemcpy effects are persisted too.
+  virtual void client_store(uint64_t offset, const void* src,
+                            uint32_t len) = 0;
+
+  /// Reads from the client's local copy.
+  virtual void client_load(uint64_t offset, void* dst,
+                           uint32_t len) const = 0;
+
+  /// Reads from replica `i`'s region (used by tests to check replication
+  /// and by read paths that go to a specific replica).
+  virtual void replica_load(size_t i, uint64_t offset, void* dst,
+                            uint32_t len) const = 0;
+
+  /// Convenience: gwrite of data passed inline (store + gwrite).
+  void gwrite_bytes(uint64_t offset, const void* src, uint32_t len,
+                    bool flush, Done done) {
+    client_store(offset, src, len);
+    gwrite(offset, len, flush, std::move(done));
+  }
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,584 @@
+#include "core/hyperloop_group.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperloop::core {
+
+using rdma::Addr;
+using rdma::Opcode;
+using rdma::RecvWqe;
+using rdma::Sge;
+using rdma::Wqe;
+using rdma::WqeDescriptor;
+
+namespace {
+
+// Placeholder for a deferred-ownership WQE: contents are irrelevant (the
+// client's patch overwrites the descriptor), only `signaled` matters for
+// the completion counting that drives WAIT thresholds and refill.
+Wqe placeholder() {
+  Wqe w = rdma::make_nop();
+  w.signaled = 1;
+  return w;
+}
+
+}  // namespace
+
+HyperLoopGroup::HyperLoopGroup(Server& client, std::vector<Server*> replicas,
+                               Config cfg)
+    : client_(client), cfg_(cfg) {
+  assert(!replicas.empty());
+  assert(cfg_.max_inflight * 2 <= cfg_.ring_slots &&
+         "in-flight window must leave re-arm headroom");
+  replicas_.resize(replicas.size());
+  for (size_t i = 0; i < replicas.size(); ++i) replicas_[i].server = replicas[i];
+
+  // Client-local state.
+  client_region_ = client_.nvm().alloc(cfg_.region_size, 4096);
+  client_zeros_ = client_.mem().alloc(result_bytes(), 64);
+
+  for (size_t i = 0; i < replicas_.size(); ++i) setup_replica(i);
+  for (int p = 0; p < kNumPrims; ++p) setup_client_chain(static_cast<Prim>(p));
+
+  // Wire the chain: client -> R0 -> ... -> R{G-1} -> client.
+  for (int pi = 0; pi < kNumPrims; ++pi) {
+    const auto p = static_cast<Prim>(pi);
+    ClientChain& cc = client_chain_[pi];
+    ReplicaChain& first = replicas_.front().chain[pi];
+    ReplicaChain& last = replicas_.back().chain[pi];
+
+    client_.nic().connect(cc.qp_down, replicas_.front().server->nic().id(),
+                          first.qp_prev->qpn);
+    replicas_.front().server->nic().connect(
+        first.qp_prev, client_.nic().id(), cc.qp_down->qpn);
+
+    for (size_t i = 0; i + 1 < replicas_.size(); ++i) {
+      ReplicaChain& a = replicas_[i].chain[pi];
+      ReplicaChain& b = replicas_[i + 1].chain[pi];
+      replicas_[i].server->nic().connect(
+          a.qp_next, replicas_[i + 1].server->nic().id(), b.qp_prev->qpn);
+      replicas_[i + 1].server->nic().connect(
+          b.qp_prev, replicas_[i].server->nic().id(), a.qp_next->qpn);
+    }
+
+    replicas_.back().server->nic().connect(last.qp_next, client_.nic().id(),
+                                           cc.qp_up->qpn);
+    client_.nic().connect(cc.qp_up, replicas_.back().server->nic().id(),
+                          last.qp_next->qpn);
+
+    // Pre-arm the full ring on every replica.
+    for (uint64_t s = 0; s < cfg_.ring_slots; ++s) {
+      for (size_t i = 0; i < replicas_.size(); ++i) rearm_slot(i, p, s);
+    }
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      replicas_[i].chain[pi].next_rearm = cfg_.ring_slots;
+    }
+
+    // Client ack RECV ring + event-driven ack handling.
+    for (uint32_t s = 0; s < cfg_.max_inflight * 2; ++s) {
+      client_.nic().post_recv(cc.qp_up, RecvWqe{});
+    }
+    cc.cq_up->set_notify([this, p] { on_ack_cqe(p); });
+    cc.cq_up->arm_notify();
+  }
+
+  for (size_t i = 0; i < replicas_.size(); ++i) start_refill(i);
+}
+
+HyperLoopGroup::~HyperLoopGroup() { stopped_ = true; }
+
+// ------------------------------------------------------------------ setup --
+
+uint32_t HyperLoopGroup::hop_payload(Prim p, size_t hop) const {
+  const uint32_t per_hop = desc_count(p) * kDescBytes;
+  uint32_t bytes =
+      per_hop * static_cast<uint32_t>(replicas_.size() - hop);
+  if (p == Prim::kCas) bytes += result_bytes();
+  return bytes;
+}
+
+void HyperLoopGroup::setup_replica(size_t idx) {
+  Replica& r = replicas_[idx];
+  rdma::Nic& nic = r.server->nic();
+  rdma::HostMemory& mem = r.server->mem();
+
+  r.data_base = r.server->nvm().alloc(cfg_.region_size, 4096);
+  r.data_mr = nic.register_mr(
+      r.data_base, cfg_.region_size,
+      rdma::kRemoteRead | rdma::kRemoteWrite | rdma::kRemoteAtomic |
+          rdma::kLocalWrite);
+
+  const size_t arena_start = mem.used();
+
+  for (int pi = 0; pi < kNumPrims; ++pi) {
+    const auto p = static_cast<Prim>(pi);
+    ReplicaChain& c = r.chain[pi];
+
+    c.staging_slot =
+        desc_count(p) * kDescBytes *
+        static_cast<uint32_t>(replicas_.size() > 0 ? replicas_.size() - 1 : 0);
+    if (c.staging_slot == 0) c.staging_slot = kDescBytes;  // 1-replica groups
+    c.staging_len = desc_count(p) * kDescBytes *
+                    static_cast<uint32_t>(replicas_.size() - 1 - idx);
+    c.staging_base = mem.alloc(uint64_t{c.staging_slot} * cfg_.ring_slots, 64);
+    if (p == Prim::kCas) {
+      c.result_base =
+          mem.alloc(uint64_t{result_bytes()} * cfg_.ring_slots, 64);
+    }
+
+    c.cq_recv_prev = nic.create_cq();
+    c.cq_send_next = nic.create_cq();
+    c.qp_prev = nic.create_qp(nullptr, c.cq_recv_prev, cfg_.ring_slots);
+    c.qp_next = nic.create_qp(c.cq_send_next, nullptr,
+                              cfg_.ring_slots * next_wqes(p));
+    if (p != Prim::kWrite) {
+      c.cq_loop = nic.create_cq();
+      c.qp_loop =
+          nic.create_loopback_qp(c.cq_loop, cfg_.ring_slots * loop_wqes(p));
+    }
+  }
+
+  // One local-write MR spanning everything allocated above (staging,
+  // result rings, and the WQE rings inside the QPs): the registration that
+  // makes work queues writable by inbound scatters — with bounds checks.
+  const size_t arena_end = mem.used();
+  const rdma::MemoryRegion ring_mr = nic.register_mr(
+      arena_start, arena_end - arena_start, rdma::kLocalWrite);
+  for (int pi = 0; pi < kNumPrims; ++pi) {
+    r.chain[pi].ring_lkey = ring_mr.lkey;
+  }
+}
+
+void HyperLoopGroup::setup_client_chain(Prim p) {
+  ClientChain& cc = client_chain_[static_cast<int>(p)];
+  rdma::Nic& nic = client_.nic();
+  rdma::HostMemory& mem = client_.mem();
+
+  cc.staging_slot =
+      desc_count(p) * kDescBytes * static_cast<uint32_t>(replicas_.size());
+  cc.staging_base =
+      mem.alloc(uint64_t{cc.staging_slot} * cfg_.max_inflight * 2, 64);
+  cc.ack_base =
+      mem.alloc(uint64_t{result_bytes()} * cfg_.max_inflight * 2, 64);
+  cc.ack_mr = nic.register_mr(cc.ack_base,
+                              uint64_t{result_bytes()} * cfg_.max_inflight * 2,
+                              rdma::kRemoteWrite | rdma::kLocalWrite);
+
+  cc.cq_down = nic.create_cq();
+  cc.cq_up = nic.create_cq();
+  cc.qp_down = nic.create_qp(cc.cq_down, nullptr, cfg_.max_inflight * 4 + 16);
+  cc.qp_up = nic.create_qp(nullptr, cc.cq_up, 16);
+}
+
+void HyperLoopGroup::rearm_slot(size_t replica, Prim p, uint64_t seq) {
+  Replica& r = replicas_[replica];
+  ReplicaChain& c = r.chain[static_cast<int>(p)];
+  rdma::Nic& nic = r.server->nic();
+  const uint32_t S = cfg_.ring_slots;
+
+  RecvWqe recv;
+  auto desc_sge = [&](rdma::QueuePair* qp, uint64_t wqe_seq) {
+    // Patch lands on the WqeDescriptor at the start of the slot.
+    recv.sges.push_back(Sge{qp->slot_addr(wqe_seq), kDescBytes, c.ring_lkey});
+  };
+
+  switch (p) {
+    case Prim::kWrite: {
+      nic.post_send(c.qp_next, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.post_send(c.qp_next, placeholder(), /*deferred=*/true);  // WRITE
+      nic.post_send(c.qp_next, placeholder(), true);               // FLUSH
+      nic.post_send(c.qp_next, placeholder(), true);               // SEND
+      desc_sge(c.qp_next, 4 * seq + 1);
+      desc_sge(c.qp_next, 4 * seq + 2);
+      desc_sge(c.qp_next, 4 * seq + 3);
+      break;
+    }
+    case Prim::kMemcpy: {
+      nic.post_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.post_send(c.qp_loop, placeholder(), true);  // COPY
+      nic.post_send(c.qp_loop, placeholder(), true);  // FLUSH
+      nic.post_send(c.qp_next,
+                    rdma::make_wait(c.cq_loop->id(), 2 * (seq + 1)));
+      nic.post_send(c.qp_next, placeholder(), true);  // SEND
+      desc_sge(c.qp_loop, 3 * seq + 1);
+      desc_sge(c.qp_loop, 3 * seq + 2);
+      desc_sge(c.qp_next, 2 * seq + 1);
+      break;
+    }
+    case Prim::kCas: {
+      nic.post_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.post_send(c.qp_loop, placeholder(), true);  // CAS
+      nic.post_send(c.qp_next, rdma::make_wait(c.cq_loop->id(), seq + 1));
+      nic.post_send(c.qp_next, placeholder(), true);  // SEND
+      desc_sge(c.qp_loop, 2 * seq + 1);
+      desc_sge(c.qp_next, 2 * seq + 1);
+      break;
+    }
+  }
+
+  if (c.staging_len > 0) {
+    recv.sges.push_back(Sge{c.staging_base + (seq % S) * c.staging_slot,
+                            c.staging_len, c.ring_lkey});
+  }
+  if (p == Prim::kCas) {
+    recv.sges.push_back(Sge{c.result_base + (seq % S) * result_bytes(),
+                            result_bytes(), c.ring_lkey});
+  }
+  recv.wr_id = seq;
+  nic.post_recv(c.qp_prev, std::move(recv));
+}
+
+void HyperLoopGroup::start_refill(size_t replica) {
+  Replica& r = replicas_[replica];
+  if (cfg_.refill_via_cpu) {
+    r.refill_pid = r.server->sched().create_process(
+        r.server->name() + "-hl-refill");
+  }
+  refill_tick(replica);
+}
+
+void HyperLoopGroup::refill_tick(size_t replica) {
+  Replica& r = replicas_[replica];
+  r.server->loop().schedule_after(cfg_.refill_period, [this, replica] {
+    if (stopped_) return;
+    Replica& rr = replicas_[replica];
+    if (cfg_.refill_via_cpu) {
+      rr.server->sched().submit(
+          rr.refill_pid, cfg_.refill_cpu, [this, replica] {
+            if (stopped_) return;
+            const uint32_t rearmed = do_refill(replica);
+            if (rearmed > 0) {
+              // Charge the per-slot driver work (posts + RECVs), still off
+              // the critical path.
+              replicas_[replica].server->sched().submit(
+                  replicas_[replica].refill_pid,
+                  cfg_.refill_cpu_per_slot *
+                      static_cast<sim::Duration>(rearmed),
+                  [this, replica] {
+                    if (!stopped_) refill_tick(replica);
+                  },
+                  /*fresh_wakeup=*/false);
+            } else {
+              refill_tick(replica);
+            }
+          });
+    } else {
+      do_refill(replica);
+      refill_tick(replica);
+    }
+  });
+}
+
+uint32_t HyperLoopGroup::do_refill(size_t replica) {
+  Replica& r = replicas_[replica];
+  uint32_t rearmed = 0;
+  for (int pi = 0; pi < kNumPrims; ++pi) {
+    const auto p = static_cast<Prim>(pi);
+    ReplicaChain& c = r.chain[pi];
+    while (true) {
+      const uint64_t finished_slot = c.next_rearm - cfg_.ring_slots;
+      if (c.cq_send_next->completion_count() <
+          uint64_t{next_completions(p)} * (finished_slot + 1)) {
+        break;
+      }
+      rearm_slot(replica, p, c.next_rearm);
+      ++c.next_rearm;
+      ++rearmed;
+    }
+  }
+  return rearmed;
+}
+
+// ---------------------------------------------------------- client issue --
+
+rdma::WqeDescriptor HyperLoopGroup::nop_desc() const {
+  WqeDescriptor d;
+  d.opcode = static_cast<uint8_t>(Opcode::kNop);
+  d.active = 1;
+  return d;
+}
+
+std::vector<uint8_t> HyperLoopGroup::build_gwrite_blob(uint64_t seq,
+                                                       uint64_t offset,
+                                                       uint32_t len,
+                                                       bool flush) {
+  const size_t G = replicas_.size();
+  std::vector<uint8_t> blob(3 * kDescBytes * G);
+  uint8_t* out = blob.data();
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
+
+  for (size_t i = 0; i < G; ++i) {
+    const ReplicaChain& c = replicas_[i].chain[static_cast<int>(Prim::kWrite)];
+    WqeDescriptor wd, fd, sd;
+    if (i + 1 < G) {
+      const Replica& next = replicas_[i + 1];
+      wd = rdma::make_write(replicas_[i].data_base + offset, 0,
+                            next.data_base + offset, next.data_mr.rkey, len)
+               .d;
+      if (flush) {
+        fd = rdma::make_flush(next.data_base, next.data_mr.rkey).d;
+      } else {
+        fd = nop_desc();
+      }
+      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                           c.ring_lkey, c.staging_len)
+               .d;
+    } else {
+      // Last hop: ACK the client with a 0-byte WRITE_WITH_IMM.
+      wd = rdma::make_write_imm(
+               0, 0,
+               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+               .d;
+      fd = nop_desc();
+      sd = nop_desc();
+    }
+    wd.active = fd.active = sd.active = 1;
+    std::memcpy(out, &wd, kDescBytes); out += kDescBytes;
+    std::memcpy(out, &fd, kDescBytes); out += kDescBytes;
+    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
+  }
+  return blob;
+}
+
+std::vector<uint8_t> HyperLoopGroup::build_gmemcpy_blob(uint64_t seq,
+                                                        uint64_t src,
+                                                        uint64_t dst,
+                                                        uint32_t len,
+                                                        bool flush) {
+  const size_t G = replicas_.size();
+  std::vector<uint8_t> blob(3 * kDescBytes * G);
+  uint8_t* out = blob.data();
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+
+  for (size_t i = 0; i < G; ++i) {
+    const ReplicaChain& c =
+        replicas_[i].chain[static_cast<int>(Prim::kMemcpy)];
+    WqeDescriptor od =
+        rdma::make_local_copy(replicas_[i].data_base + src,
+                              replicas_[i].data_base + dst, len)
+            .d;
+    WqeDescriptor fd = flush ? rdma::make_flush(0, 0).d : nop_desc();
+    WqeDescriptor sd;
+    if (i + 1 < G) {
+      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                           c.ring_lkey, c.staging_len)
+               .d;
+    } else {
+      sd = rdma::make_write_imm(
+               0, 0,
+               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+               .d;
+    }
+    od.active = fd.active = sd.active = 1;
+    std::memcpy(out, &od, kDescBytes); out += kDescBytes;
+    std::memcpy(out, &fd, kDescBytes); out += kDescBytes;
+    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
+  }
+  return blob;
+}
+
+std::vector<uint8_t> HyperLoopGroup::build_gcas_blob(
+    uint64_t seq, uint64_t offset, uint64_t expected, uint64_t desired,
+    const std::vector<bool>& exec) {
+  const size_t G = replicas_.size();
+  std::vector<uint8_t> blob(2 * kDescBytes * G);
+  uint8_t* out = blob.data();
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
+
+  for (size_t i = 0; i < G; ++i) {
+    const ReplicaChain& c = replicas_[i].chain[static_cast<int>(Prim::kCas)];
+    const Addr result_slot =
+        c.result_base + (seq % cfg_.ring_slots) * result_bytes();
+    WqeDescriptor cd;
+    if (i < exec.size() && exec[i]) {
+      cd = rdma::make_cas(result_slot + 8 * i, c.ring_lkey,
+                          replicas_[i].data_base + offset,
+                          replicas_[i].data_mr.rkey, expected, desired)
+               .d;
+    } else {
+      // Execute map cleared: the pre-posted CAS becomes a NOP (§4.2).
+      cd = nop_desc();
+    }
+    WqeDescriptor sd;
+    if (i + 1 < G) {
+      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                           c.ring_lkey, c.staging_len)
+               .d;
+      sd.aux_addr = result_slot;
+      sd.aux_length = result_bytes();
+    } else {
+      sd = rdma::make_write_imm(
+               0, 0,
+               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+               .d;
+      sd.aux_addr = result_slot;
+      sd.aux_length = result_bytes();
+    }
+    cd.active = sd.active = 1;
+    std::memcpy(out, &cd, kDescBytes); out += kDescBytes;
+    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
+  }
+  return blob;
+}
+
+void HyperLoopGroup::submit(Prim p, std::function<void()> issue) {
+  ClientChain& cc = client_chain_[static_cast<int>(p)];
+  if (cc.inflight >= cfg_.max_inflight) {
+    cc.waiting.push_back(std::move(issue));
+    return;
+  }
+  ++cc.inflight;
+  issue();
+}
+
+void HyperLoopGroup::issue_blob(Prim p, uint64_t seq,
+                                std::vector<uint8_t> blob,
+                                std::function<void()> on_ack) {
+  ClientChain& cc = client_chain_[static_cast<int>(p)];
+  const Addr slot =
+      cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
+  client_.mem().write(slot, blob.data(), blob.size());
+
+  Wqe send = rdma::make_send(slot, 0, static_cast<uint32_t>(blob.size()));
+  if (p == Prim::kCas) {
+    // Seed the result map with zeros so excluded replicas report 0.
+    send.d.aux_addr = client_zeros_;
+    send.d.aux_length = result_bytes();
+  }
+  cc.pending.emplace(static_cast<uint32_t>(seq), std::move(on_ack));
+  client_.nic().post_send(cc.qp_down, send);
+}
+
+void HyperLoopGroup::on_ack_cqe(Prim p) {
+  ClientChain& cc = client_chain_[static_cast<int>(p)];
+  rdma::Cqe cqe;
+  while (cc.cq_up->poll(&cqe)) {
+    if (!cqe.has_imm) continue;
+    auto it = cc.pending.find(cqe.imm);
+    if (it == cc.pending.end()) continue;
+    auto handler = std::move(it->second);
+    cc.pending.erase(it);
+    cc.completed_seq = cqe.imm;
+    client_.nic().post_recv(cc.qp_up, RecvWqe{});
+    --cc.inflight;
+    handler();
+    if (!cc.waiting.empty() && cc.inflight < cfg_.max_inflight) {
+      auto next = std::move(cc.waiting.front());
+      cc.waiting.pop_front();
+      ++cc.inflight;
+      next();
+    }
+  }
+  cc.cq_up->arm_notify();
+}
+
+// ------------------------------------------------------------- primitives --
+
+void HyperLoopGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
+                            Done done) {
+  assert(offset + len <= cfg_.region_size);
+  submit(Prim::kWrite, [this, offset, len, flush, done = std::move(done)] {
+    ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
+    const uint64_t seq = cc.next_seq++;
+    ++counters_.gwrites;
+    counters_.bytes_replicated += uint64_t{len} * replicas_.size();
+
+    // Data WRITE (+FLUSH) to the first replica, then the metadata SEND
+    // that drives the offloaded chain.
+    const Replica& r0 = replicas_.front();
+    Wqe data = rdma::make_write(client_region_ + offset, 0,
+                                r0.data_base + offset, r0.data_mr.rkey, len);
+    client_.nic().post_send(cc.qp_down, data);
+    if (flush) {
+      client_.nic().post_send(
+          cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
+    }
+    issue_blob(Prim::kWrite, seq, build_gwrite_blob(seq, offset, len, flush),
+               std::move(done));
+  });
+}
+
+void HyperLoopGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
+                             uint32_t len, bool flush, Done done) {
+  assert(src_offset + len <= cfg_.region_size);
+  assert(dst_offset + len <= cfg_.region_size);
+  submit(Prim::kMemcpy,
+         [this, src_offset, dst_offset, len, flush, done = std::move(done)] {
+           ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+           const uint64_t seq = cc.next_seq++;
+           ++counters_.gmemcpys;
+           // The client's copy of the region must stay in sync: perform
+           // the same copy locally (the client is the head of the chain).
+           client_.mem().copy(client_region_ + dst_offset,
+                              client_region_ + src_offset, len);
+           client_.nvm().persist(client_region_ + dst_offset, len);
+           issue_blob(
+               Prim::kMemcpy, seq,
+               build_gmemcpy_blob(seq, src_offset, dst_offset, len, flush),
+               std::move(done));
+         });
+}
+
+void HyperLoopGroup::gcas(uint64_t offset, uint64_t expected,
+                          uint64_t desired, const std::vector<bool>& exec_map,
+                          CasDone done) {
+  assert(offset + 8 <= cfg_.region_size);
+  submit(Prim::kCas, [this, offset, expected, desired, exec_map,
+                      done = std::move(done)] {
+    ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
+    const uint64_t seq = cc.next_seq++;
+    ++counters_.gcas;
+    auto on_ack = [this, seq, done = std::move(done)] {
+      ClientChain& c2 = client_chain_[static_cast<int>(Prim::kCas)];
+      std::vector<uint64_t> result(replicas_.size());
+      client_.mem().read(
+          c2.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+          result.data(), result_bytes());
+      done(result);
+    };
+    issue_blob(Prim::kCas, seq,
+               build_gcas_blob(seq, offset, expected, desired, exec_map),
+               std::move(on_ack));
+  });
+}
+
+void HyperLoopGroup::gflush(Done done) {
+  ++counters_.gflushes;
+  gwrite(0, 0, /*flush=*/true, std::move(done));
+}
+
+// ------------------------------------------------------------ data access --
+
+void HyperLoopGroup::client_store(uint64_t offset, const void* src,
+                                  uint32_t len) {
+  assert(offset + len <= cfg_.region_size);
+  client_.mem().write(client_region_ + offset, src, len);
+  client_.nvm().persist(client_region_ + offset, len);
+}
+
+void HyperLoopGroup::client_load(uint64_t offset, void* dst,
+                                 uint32_t len) const {
+  client_.mem().read(client_region_ + offset, dst, len);
+}
+
+void HyperLoopGroup::replica_load(size_t i, uint64_t offset, void* dst,
+                                  uint32_t len) const {
+  const Replica& r = replicas_.at(i);
+  r.server->mem().read(r.data_base + offset, dst, len);
+}
+
+rdma::Addr HyperLoopGroup::replica_region_base(size_t i) const {
+  return replicas_.at(i).data_base;
+}
+
+uint64_t HyperLoopGroup::total_rnr_stalls() const {
+  uint64_t n = 0;
+  for (const Replica& r : replicas_) n += r.server->nic().counters().rnr_stalls;
+  return n;
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,190 @@
+#include "core/lock.h"
+
+#include <cassert>
+#include <memory>
+
+namespace hyperloop::core {
+
+GroupLockManager::GroupLockManager(ReplicationGroup& group,
+                                   RegionLayout layout, sim::EventLoop& loop,
+                                   Config cfg)
+    : group_(group), layout_(layout), loop_(loop), cfg_(cfg) {}
+
+void GroupLockManager::wr_lock(uint32_t lock_id, uint64_t owner,
+                               LockDone done) {
+  assert(owner != 0 && "owner id 0 means 'unlocked'");
+  wr_attempt(lock_id, owner, cfg_.max_attempts, std::move(done));
+}
+
+void GroupLockManager::wr_attempt(uint32_t lock_id, uint64_t owner,
+                                  int attempts_left, LockDone done) {
+  if (attempts_left <= 0) {
+    done(false);
+    return;
+  }
+  group_.gcas(
+      layout_.lock_offset(lock_id), 0, owner, all_replicas(),
+      [this, lock_id, owner, attempts_left, done = std::move(done)](
+          const std::vector<uint64_t>& result) mutable {
+        bool all = true, any = false;
+        for (uint64_t old : result) {
+          if (old == 0) {
+            any = true;
+          } else {
+            all = false;
+          }
+        }
+        if (all) {
+          ++stats_.wr_acquired;
+          wait_readers_drain(lock_id, owner, attempts_left,
+                             std::move(done));
+          return;
+        }
+        ++stats_.wr_conflicts;
+        auto retry = [this, lock_id, owner, attempts_left,
+                      done = std::move(done)]() mutable {
+          loop_.schedule_after(cfg_.retry_backoff,
+                               [this, lock_id, owner, attempts_left,
+                                done = std::move(done)]() mutable {
+                                 wr_attempt(lock_id, owner,
+                                            attempts_left - 1,
+                                            std::move(done));
+                               });
+        };
+        if (any) {
+          // Partial acquisition: undo exactly where we succeeded (§4.2).
+          ++stats_.partial_undos;
+          std::vector<bool> undo(result.size());
+          for (size_t i = 0; i < result.size(); ++i) undo[i] = result[i] == 0;
+          group_.gcas(layout_.lock_offset(lock_id), owner, 0, undo,
+                      [retry = std::move(retry)](
+                          const std::vector<uint64_t>&) mutable { retry(); });
+        } else {
+          retry();
+        }
+      });
+}
+
+void GroupLockManager::wait_readers_drain(uint32_t lock_id, uint64_t owner,
+                                          int attempts_left, LockDone done) {
+  if (attempts_left <= 0) {
+    // Give up: release the writer word we hold.
+    wr_unlock(lock_id, owner, [done = std::move(done)] { done(false); });
+    return;
+  }
+  // gCAS(0 -> 0) is a NIC-side read of every replica's reader count.
+  group_.gcas(layout_.reader_offset(lock_id), 0, 0, all_replicas(),
+              [this, lock_id, owner, attempts_left,
+               done = std::move(done)](const std::vector<uint64_t>& counts) mutable {
+                bool drained = true;
+                for (uint64_t c : counts) drained = drained && c == 0;
+                if (drained) {
+                  done(true);
+                  return;
+                }
+                loop_.schedule_after(
+                    cfg_.retry_backoff,
+                    [this, lock_id, owner, attempts_left,
+                     done = std::move(done)]() mutable {
+                      wait_readers_drain(lock_id, owner, attempts_left - 1,
+                                         std::move(done));
+                    });
+              });
+}
+
+void GroupLockManager::wr_unlock(uint32_t lock_id, uint64_t owner,
+                                 Done done) {
+  group_.gcas(layout_.lock_offset(lock_id), owner, 0, all_replicas(),
+              [done = std::move(done)](const std::vector<uint64_t>&) {
+                if (done) done();
+              });
+}
+
+void GroupLockManager::rd_lock(uint32_t lock_id, size_t replica,
+                               LockDone done) {
+  rd_attempt(lock_id, replica, cfg_.max_attempts, std::move(done));
+}
+
+void GroupLockManager::rd_attempt(uint32_t lock_id, size_t replica,
+                                  int attempts_left, LockDone done) {
+  if (attempts_left <= 0) {
+    done(false);
+    return;
+  }
+  // 1) Writer free on this replica?
+  group_.gcas(
+      layout_.lock_offset(lock_id), 0, 0, one_replica(replica),
+      [this, lock_id, replica, attempts_left,
+       done = std::move(done)](const std::vector<uint64_t>& w) mutable {
+        if (w[replica] != 0) {
+          loop_.schedule_after(cfg_.retry_backoff,
+                               [this, lock_id, replica, attempts_left,
+                                done = std::move(done)]() mutable {
+                                 rd_attempt(lock_id, replica,
+                                            attempts_left - 1,
+                                            std::move(done));
+                               });
+          return;
+        }
+        // 2) Increment the reader count.
+        cas_loop_add(
+            layout_.reader_offset(lock_id), replica, +1,
+            [this, lock_id, replica, attempts_left,
+             done = std::move(done)]() mutable {
+              // 3) Re-check the writer: if one slipped in, back out.
+              group_.gcas(
+                  layout_.lock_offset(lock_id), 0, 0, one_replica(replica),
+                  [this, lock_id, replica, attempts_left,
+                   done = std::move(done)](const std::vector<uint64_t>& w2) mutable {
+                    if (w2[replica] == 0) {
+                      ++stats_.rd_acquired;
+                      done(true);
+                      return;
+                    }
+                    cas_loop_add(
+                        layout_.reader_offset(lock_id), replica, -1,
+                        [this, lock_id, replica, attempts_left,
+                         done = std::move(done)]() mutable {
+                          loop_.schedule_after(
+                              cfg_.retry_backoff,
+                              [this, lock_id, replica, attempts_left,
+                               done = std::move(done)]() mutable {
+                                rd_attempt(lock_id, replica,
+                                           attempts_left - 1,
+                                           std::move(done));
+                              });
+                        });
+                  });
+            });
+      });
+}
+
+void GroupLockManager::rd_unlock(uint32_t lock_id, size_t replica,
+                                 Done done) {
+  cas_loop_add(layout_.reader_offset(lock_id), replica, -1, std::move(done));
+}
+
+void GroupLockManager::cas_loop_add(uint64_t offset, size_t replica,
+                                    int64_t delta, Done done) {
+  // Read-modify-write via CAS retry: first probe with expected=0.
+  auto attempt = std::make_shared<std::function<void(uint64_t)>>();
+  *attempt = [this, offset, replica, delta, done = std::move(done),
+              attempt](uint64_t guess) mutable {
+    const uint64_t desired =
+        static_cast<uint64_t>(static_cast<int64_t>(guess) + delta);
+    group_.gcas(offset, guess, desired, one_replica(replica),
+                [replica, guess, attempt,
+                 done](const std::vector<uint64_t>& r) mutable {
+                  if (r[replica] == guess) {
+                    if (done) done();
+                    // Break the shared_ptr self-reference cycle.
+                    *attempt = nullptr;
+                    return;
+                  }
+                  (*attempt)(r[replica]);
+                });
+  };
+  (*attempt)(0);
+}
+
+}  // namespace hyperloop::core

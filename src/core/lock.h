@@ -1,0 +1,91 @@
+// Group locking (§5, "Locking and Isolation") built purely on gCAS.
+//
+// Each lock-table entry holds a writer word and a reader count (see
+// RegionLayout). Write locks are *group* locks: a gCAS(0 -> owner) against
+// every replica; on a partial acquisition (some replicas already held) the
+// acquired subset is rolled back with a second gCAS whose execute map
+// selects exactly the replicas that succeeded — the paper's undo flow.
+// Read locks are per-replica (only the replica being read from
+// participates) and coexist with writers via the classic rwlock protocol:
+// readers increment the reader count while the writer word is clear;
+// writers acquire the writer word on all replicas and then wait for reader
+// counts to drain.
+//
+// A gCAS(expected=0, desired=0) is used as a NIC-offloaded *read* of a
+// lock word (it swaps nothing and returns the current value).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/group.h"
+#include "core/region_layout.h"
+#include "sim/event_loop.h"
+
+namespace hyperloop::core {
+
+class GroupLockManager {
+ public:
+  struct Config {
+    sim::Duration retry_backoff = sim::usec(20);
+    int max_attempts = 10000;
+  };
+
+  struct Stats {
+    uint64_t wr_acquired = 0;
+    uint64_t wr_conflicts = 0;  ///< attempts that found the lock held
+    uint64_t partial_undos = 0; ///< partial acquisitions rolled back
+    uint64_t rd_acquired = 0;
+  };
+
+  using LockDone = std::function<void(bool acquired)>;
+  using Done = std::function<void()>;
+
+  GroupLockManager(ReplicationGroup& group, RegionLayout layout,
+                   sim::EventLoop& loop, Config cfg);
+  GroupLockManager(ReplicationGroup& group, RegionLayout layout,
+                   sim::EventLoop& loop)
+      : GroupLockManager(group, layout, loop, Config()) {}
+
+  /// Acquires the write lock `lock_id` for `owner` (non-zero) on every
+  /// replica, retrying with backoff. done(false) after max_attempts.
+  void wr_lock(uint32_t lock_id, uint64_t owner, LockDone done);
+
+  /// Releases a held write lock.
+  void wr_unlock(uint32_t lock_id, uint64_t owner, Done done);
+
+  /// Acquires a read lock on one replica.
+  void rd_lock(uint32_t lock_id, size_t replica, LockDone done);
+
+  /// Releases a read lock on one replica.
+  void rd_unlock(uint32_t lock_id, size_t replica, Done done);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void wr_attempt(uint32_t lock_id, uint64_t owner, int attempts_left,
+                  LockDone done);
+  void wait_readers_drain(uint32_t lock_id, uint64_t owner, int attempts_left,
+                          LockDone done);
+  void rd_attempt(uint32_t lock_id, size_t replica, int attempts_left,
+                  LockDone done);
+  void cas_loop_add(uint64_t offset, size_t replica, int64_t delta,
+                    Done done);
+
+  std::vector<bool> all_replicas() const {
+    return std::vector<bool>(group_.group_size(), true);
+  }
+  std::vector<bool> one_replica(size_t i) const {
+    std::vector<bool> m(group_.group_size(), false);
+    m[i] = true;
+    return m;
+  }
+
+  ReplicationGroup& group_;
+  RegionLayout layout_;
+  sim::EventLoop& loop_;
+  Config cfg_;
+  Stats stats_;
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,51 @@
+// Layout of the replicated region shared by every replica (and the client's
+// local copy). The WAL, lock table and database all live at fixed offsets
+// inside one region so the group primitives can address them uniformly:
+//
+//   [ control block | lock table | write-ahead log | database ]
+//
+// Control block (64 B):
+//   u64 log_head   offset of the first unprocessed record (relative to log)
+//   u64 log_tail   offset one past the last appended record
+//   u64 epoch      membership epoch (bumped by reconfiguration)
+#pragma once
+
+#include <cstdint>
+
+namespace hyperloop::core {
+
+struct RegionLayout {
+  uint64_t region_size = 4u << 20;
+  uint32_t num_locks = 64;
+  uint64_t log_size = 1u << 20;
+
+  static constexpr uint64_t kControlBase = 0;
+  static constexpr uint64_t kControlSize = 64;
+  static constexpr uint64_t kHeadOffset = 0;   ///< within control block
+  static constexpr uint64_t kTailOffset = 8;
+  static constexpr uint64_t kEpochOffset = 16;
+
+  /// Bytes per lock-table entry: [writer word (8)] [reader count (8)].
+  static constexpr uint64_t kLockEntrySize = 16;
+
+  uint64_t lock_table_base() const { return kControlBase + kControlSize; }
+  uint64_t lock_offset(uint32_t lock_id) const {
+    return lock_table_base() + uint64_t{lock_id} * kLockEntrySize;
+  }
+  uint64_t reader_offset(uint32_t lock_id) const {
+    return lock_offset(lock_id) + 8;
+  }
+  uint64_t log_base() const {
+    // 64-byte align after the lock table.
+    const uint64_t b = lock_table_base() + uint64_t{num_locks} * kLockEntrySize;
+    return (b + 63) & ~uint64_t{63};
+  }
+  uint64_t db_base() const { return log_base() + log_size; }
+  uint64_t db_size() const { return region_size - db_base(); }
+
+  bool valid() const {
+    return db_base() < region_size && log_size >= 4096;
+  }
+};
+
+}  // namespace hyperloop::core

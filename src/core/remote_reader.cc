@@ -1,0 +1,71 @@
+#include "core/remote_reader.h"
+
+#include <cassert>
+
+namespace hyperloop::core {
+
+RemoteReader::RemoteReader(Server& client, Server& target,
+                           rdma::Addr remote_base, uint32_t rkey,
+                           uint32_t slots, uint32_t slot_size)
+    : client_(client),
+      remote_base_(remote_base),
+      rkey_(rkey),
+      slot_size_(slot_size) {
+  cq_ = client_.nic().create_cq();
+  qp_ = client_.nic().create_qp(cq_, nullptr, slots * 2 + 8);
+  // Stub endpoint on the target; one-sided READs only need routing.
+  rdma::QueuePair* stub = target.nic().create_qp(nullptr, nullptr, 8);
+  client_.nic().connect(qp_, target.nic().id(), stub->qpn);
+  target.nic().connect(stub, client_.nic().id(), qp_->qpn);
+
+  bounce_base_ = client_.mem().alloc(uint64_t{slots} * slot_size, 64);
+  for (uint32_t s = 0; s < slots; ++s) free_slots_.push_back(s);
+
+  cq_->set_notify([this] { on_completion(); });
+  cq_->arm_notify();
+}
+
+void RemoteReader::read(uint64_t offset, uint32_t len, ReadDone done) {
+  assert(len <= slot_size_ && "read larger than bounce slot");
+  if (free_slots_.empty()) {
+    waiting_.push_back([this, offset, len, done = std::move(done)]() mutable {
+      issue(offset, len, std::move(done));
+    });
+    return;
+  }
+  issue(offset, len, std::move(done));
+}
+
+void RemoteReader::issue(uint64_t offset, uint32_t len, ReadDone done) {
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  const uint64_t wr_id = next_wr_id_++;
+  pending_.emplace(wr_id, Pending{slot, len, std::move(done)});
+  ++reads_issued_;
+  client_.nic().post_send(
+      qp_, rdma::make_read(bounce_base_ + uint64_t{slot} * slot_size_, 0,
+                           remote_base_ + offset, rkey_, len, wr_id));
+}
+
+void RemoteReader::on_completion() {
+  rdma::Cqe cqe;
+  while (cq_->poll(&cqe)) {
+    auto it = pending_.find(cqe.wr_id);
+    if (it == pending_.end()) continue;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    std::vector<uint8_t> data(p.len);
+    client_.mem().read(bounce_base_ + uint64_t{p.slot} * slot_size_,
+                       data.data(), p.len);
+    free_slots_.push_back(p.slot);
+    p.done(std::move(data));
+    if (!waiting_.empty() && !free_slots_.empty()) {
+      auto next = std::move(waiting_.front());
+      waiting_.pop_front();
+      next();
+    }
+  }
+  cq_->arm_notify();
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,59 @@
+// One-sided RDMA reads from a replica's replicated region.
+//
+// HyperLoop allows lock-free (or read-locked) reads from the head or tail
+// of the chain (§5). RemoteReader owns a dedicated QP pair between the
+// client and one replica plus a small ring of bounce buffers, so read
+// traffic never interferes with the pre-posted primitive rings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/server.h"
+#include "rdma/nic.h"
+
+namespace hyperloop::core {
+
+class RemoteReader {
+ public:
+  /// `target` is the replica served by this reader; `remote_base`/`rkey`
+  /// identify its replicated region.
+  RemoteReader(Server& client, Server& target, rdma::Addr remote_base,
+               uint32_t rkey, uint32_t slots = 32, uint32_t slot_size = 16384);
+
+  using ReadDone = std::function<void(std::vector<uint8_t>)>;
+
+  /// Reads `len` bytes at region `offset` from the target replica.
+  /// Requires len <= slot_size; reads queue when all slots are busy.
+  void read(uint64_t offset, uint32_t len, ReadDone done);
+
+  uint64_t reads_issued() const { return reads_issued_; }
+
+ private:
+  struct Pending {
+    uint32_t slot;
+    uint32_t len;
+    ReadDone done;
+  };
+
+  void issue(uint64_t offset, uint32_t len, ReadDone done);
+  void on_completion();
+
+  Server& client_;
+  rdma::Addr remote_base_;
+  uint32_t rkey_;
+  uint32_t slot_size_;
+  rdma::QueuePair* qp_ = nullptr;
+  rdma::CompletionQueue* cq_ = nullptr;
+  rdma::Addr bounce_base_ = 0;
+  std::vector<uint32_t> free_slots_;
+  uint64_t next_wr_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::deque<std::function<void()>> waiting_;
+  uint64_t reads_issued_ = 0;
+};
+
+}  // namespace hyperloop::core

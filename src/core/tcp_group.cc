@@ -1,0 +1,255 @@
+#include "core/tcp_group.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperloop::core {
+namespace {
+
+std::vector<uint8_t> pack(const void* hdr, size_t hdr_len,
+                          const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> msg(hdr_len + data.size());
+  std::memcpy(msg.data(), hdr, hdr_len);
+  if (!data.empty()) std::memcpy(msg.data() + hdr_len, data.data(), data.size());
+  return msg;
+}
+
+}  // namespace
+
+TcpReplicationGroup::TcpReplicationGroup(Server& client,
+                                         std::vector<Server*> replicas,
+                                         Config cfg)
+    : client_(client), cfg_(cfg) {
+  assert(!replicas.empty() && replicas.size() <= kMaxGroup);
+  if (cfg_.port == 0) {
+    static uint16_t next_port = 20000;
+    cfg_.port = next_port++;
+  }
+  replicas_.resize(replicas.size());
+  client_region_ = client_.nvm().alloc(cfg_.region_size, 4096);
+  client_pid_ = client_.sched().create_process(client_.name() + "-tcp-cli");
+
+  client_.tcp().listen(cfg_.port, client_pid_,
+                       [this](rdma::NicId, uint16_t, std::vector<uint8_t> m) {
+                         on_client_ack(std::move(m));
+                       });
+
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Replica& r = replicas_[i];
+    r.server = replicas[i];
+    r.data_base = r.server->nvm().alloc(cfg_.region_size, 4096);
+    r.pid = r.server->sched().create_process(r.server->name() + "-tcp-repl");
+    r.server->tcp().listen(
+        cfg_.port, r.pid,
+        [this, i](rdma::NicId, uint16_t, std::vector<uint8_t> m) {
+          on_replica_message(i, std::move(m));
+        });
+  }
+}
+
+TcpReplicationGroup::~TcpReplicationGroup() { stopped_ = true; }
+
+void TcpReplicationGroup::on_replica_message(size_t i,
+                                             std::vector<uint8_t> msg) {
+  if (stopped_) return;
+  assert(msg.size() >= sizeof(Header));
+  Header hdr;
+  std::memcpy(&hdr, msg.data(), sizeof(hdr));
+  std::vector<uint8_t> data(msg.begin() + sizeof(Header), msg.end());
+
+  Replica& r = replicas_[i];
+  rdma::HostMemory& mem = r.server->mem();
+
+  // Execution cost on the replica CPU (application of the command); the
+  // TcpStack already charged the receive-path cost before this handler.
+  sim::Duration work = cfg_.per_message_cpu;
+  if (hdr.type == 1) {
+    work += static_cast<sim::Duration>(cfg_.copy_ns_per_byte *
+                                       static_cast<double>(hdr.len));
+  }
+  if (hdr.flush != 0) {
+    work += cfg_.persist_base +
+            static_cast<sim::Duration>(cfg_.persist_ns_per_byte *
+                                       static_cast<double>(hdr.len));
+  }
+
+  r.server->sched().submit(
+      r.pid, work,
+      [this, i, hdr, data = std::move(data)]() mutable {
+        if (stopped_) return;
+        Replica& rr = replicas_[i];
+        rdma::HostMemory& m = rr.server->mem();
+        Header h = hdr;
+        switch (h.type) {
+          case 0: {  // gwrite: apply the carried bytes
+            if (h.len > 0) m.write(rr.data_base + h.offset, data.data(), h.len);
+            if (h.flush != 0) {
+              rr.server->nvm().persist(rr.data_base + h.offset, h.len);
+            }
+            break;
+          }
+          case 1: {  // gmemcpy
+            m.copy(rr.data_base + h.dst, rr.data_base + h.offset, h.len);
+            if (h.flush != 0) {
+              rr.server->nvm().persist(rr.data_base + h.dst, h.len);
+            }
+            break;
+          }
+          case 2: {  // gcas
+            if ((h.exec_mask >> i) & 1u) {
+              uint64_t old = 0;
+              m.read(rr.data_base + h.offset, &old, sizeof(old));
+              if (old == h.expected) {
+                m.write(rr.data_base + h.offset, &h.desired, sizeof(h.desired));
+              }
+              h.result[i] = old;
+            }
+            break;
+          }
+          default:
+            assert(false);
+        }
+        forward(i, h, std::move(data));
+      },
+      /*fresh_wakeup=*/false);
+}
+
+void TcpReplicationGroup::forward(size_t i, Header hdr,
+                                  std::vector<uint8_t> data) {
+  Replica& r = replicas_[i];
+  if (i + 1 < replicas_.size()) {
+    hdr.hop = static_cast<uint16_t>(i + 1);
+    r.server->tcp().send(r.pid, replicas_[i + 1].server->nic().id(),
+                         cfg_.port, pack(&hdr, sizeof(hdr), data));
+  } else {
+    // Tail ACKs the client; no need to carry the data back.
+    r.server->tcp().send(r.pid, client_.nic().id(), cfg_.port,
+                         pack(&hdr, sizeof(hdr), {}));
+  }
+}
+
+void TcpReplicationGroup::on_client_ack(std::vector<uint8_t> msg) {
+  if (stopped_) return;
+  assert(msg.size() >= sizeof(Header));
+  Header hdr;
+  std::memcpy(&hdr, msg.data(), sizeof(hdr));
+  auto it = pending_.find(hdr.seq);
+  if (it == pending_.end()) return;
+  auto handler = std::move(it->second);
+  pending_.erase(it);
+  --inflight_;
+  handler(hdr);
+  if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
+    auto next = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++inflight_;
+    next();
+  }
+}
+
+void TcpReplicationGroup::submit(std::function<void()> issue) {
+  if (inflight_ >= cfg_.max_inflight) {
+    waiting_.push_back(std::move(issue));
+    return;
+  }
+  ++inflight_;
+  issue();
+}
+
+void TcpReplicationGroup::send_cmd(Header hdr, std::vector<uint8_t> data) {
+  client_.tcp().send(client_pid_, replicas_.front().server->nic().id(),
+                     cfg_.port, pack(&hdr, sizeof(hdr), data));
+}
+
+void TcpReplicationGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
+                                 Done done) {
+  assert(offset + len <= cfg_.region_size);
+  submit([this, offset, len, flush, done = std::move(done)] {
+    Header hdr;
+    hdr.type = 0;
+    hdr.flush = flush ? 1 : 0;
+    hdr.seq = next_seq_++;
+    hdr.offset = offset;
+    hdr.len = len;
+    pending_.emplace(hdr.seq,
+                     [done = std::move(done)](const Header&) { done(); });
+    std::vector<uint8_t> data(len);
+    client_.mem().read(client_region_ + offset, data.data(), len);
+    send_cmd(hdr, std::move(data));
+  });
+}
+
+void TcpReplicationGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
+                                  uint32_t len, bool flush, Done done) {
+  assert(src_offset + len <= cfg_.region_size);
+  assert(dst_offset + len <= cfg_.region_size);
+  submit([this, src_offset, dst_offset, len, flush, done = std::move(done)] {
+    client_.mem().copy(client_region_ + dst_offset,
+                       client_region_ + src_offset, len);
+    client_.nvm().persist(client_region_ + dst_offset, len);
+    Header hdr;
+    hdr.type = 1;
+    hdr.flush = flush ? 1 : 0;
+    hdr.seq = next_seq_++;
+    hdr.offset = src_offset;
+    hdr.dst = dst_offset;
+    hdr.len = len;
+    pending_.emplace(hdr.seq,
+                     [done = std::move(done)](const Header&) { done(); });
+    send_cmd(hdr, {});
+  });
+}
+
+void TcpReplicationGroup::gcas(uint64_t offset, uint64_t expected,
+                               uint64_t desired,
+                               const std::vector<bool>& exec_map,
+                               CasDone done) {
+  assert(offset + 8 <= cfg_.region_size);
+  submit([this, offset, expected, desired, exec_map,
+          done = std::move(done)] {
+    Header hdr;
+    hdr.type = 2;
+    hdr.seq = next_seq_++;
+    hdr.offset = offset;
+    hdr.expected = expected;
+    hdr.desired = desired;
+    for (size_t i = 0; i < exec_map.size() && i < kMaxGroup; ++i) {
+      if (exec_map[i]) hdr.exec_mask |= uint64_t{1} << i;
+    }
+    const size_t group = replicas_.size();
+    pending_.emplace(hdr.seq,
+                     [done = std::move(done), group](const Header& h) {
+                       done(std::vector<uint64_t>(h.result, h.result + group));
+                     });
+    send_cmd(hdr, {});
+  });
+}
+
+void TcpReplicationGroup::gflush(Done done) {
+  gwrite(0, 0, /*flush=*/true, std::move(done));
+}
+
+void TcpReplicationGroup::client_store(uint64_t offset, const void* src,
+                                       uint32_t len) {
+  assert(offset + len <= cfg_.region_size);
+  client_.mem().write(client_region_ + offset, src, len);
+  client_.nvm().persist(client_region_ + offset, len);
+}
+
+void TcpReplicationGroup::client_load(uint64_t offset, void* dst,
+                                      uint32_t len) const {
+  client_.mem().read(client_region_ + offset, dst, len);
+}
+
+void TcpReplicationGroup::replica_load(size_t i, uint64_t offset, void* dst,
+                                       uint32_t len) const {
+  const Replica& r = replicas_.at(i);
+  r.server->mem().read(r.data_base + offset, dst, len);
+}
+
+sim::Duration TcpReplicationGroup::replica_cpu_time(size_t i) const {
+  const Replica& r = replicas_.at(i);
+  return r.server->sched().stats(r.pid).cpu_time;
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,72 @@
+#include "core/tcp_stack.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperloop::core {
+namespace {
+
+// Wire header: destination port (2 bytes) + source port placeholder.
+struct DgramHeader {
+  uint16_t dst_port;
+  uint16_t src_port;
+};
+
+}  // namespace
+
+TcpStack::TcpStack(sim::EventLoop& loop, rdma::Network& net,
+                   rdma::NicId nic_id, sim::CpuScheduler& sched, Config cfg)
+    : loop_(loop), net_(net), nic_id_(nic_id), sched_(sched), cfg_(cfg) {
+  net_.set_datagram_handler(
+      nic_id_, [this](rdma::NicId src, std::vector<uint8_t> bytes) {
+        on_datagram(src, std::move(bytes));
+      });
+}
+
+void TcpStack::listen(uint16_t port, sim::ProcessId proc, Handler handler) {
+  listeners_[port] = Listener{proc, std::move(handler)};
+}
+
+void TcpStack::send(sim::ProcessId sender_proc, rdma::NicId dst,
+                    uint16_t port, std::vector<uint8_t> data) {
+  const auto cpu =
+      cfg_.send_cpu_base +
+      static_cast<sim::Duration>(cfg_.send_cpu_ns_per_byte *
+                                 static_cast<double>(data.size()));
+  // The sender's process must get a core to push the message through the
+  // socket layer; only then do bytes reach the wire.
+  sched_.submit(sender_proc, cpu,
+                [this, dst, port, d = std::move(data)]() mutable {
+                  DgramHeader h{port, 0};
+                  std::vector<uint8_t> wire(sizeof(h) + d.size());
+                  std::memcpy(wire.data(), &h, sizeof(h));
+                  std::memcpy(wire.data() + sizeof(h), d.data(), d.size());
+                  ++sent_;
+                  net_.transmit_datagram(nic_id_, dst, std::move(wire));
+                });
+}
+
+void TcpStack::on_datagram(rdma::NicId src, std::vector<uint8_t> bytes) {
+  assert(bytes.size() >= sizeof(DgramHeader));
+  DgramHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  auto it = listeners_.find(h.dst_port);
+  assert(it != listeners_.end() && "datagram for un-bound port");
+  Listener& l = it->second;
+
+  std::vector<uint8_t> payload(bytes.begin() + sizeof(h), bytes.end());
+  const auto cpu =
+      cfg_.recv_cpu_base +
+      static_cast<sim::Duration>(cfg_.recv_cpu_ns_per_byte *
+                                 static_cast<double>(payload.size()));
+  ++received_;
+  // Receive path: the listener's process is woken and charged before the
+  // application handler runs — the multi-tenant pain point.
+  sched_.submit(l.proc, cpu,
+                [handler = l.handler, src, port = h.dst_port,
+                 p = std::move(payload)]() mutable {
+                  handler(src, port, std::move(p));
+                });
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,71 @@
+// Kernel-TCP message layer (the "native replication" baseline).
+//
+// Models the cost structure the paper's §2.2 measurements attribute to the
+// OS path: every send and receive charges CPU (syscalls, copies, interrupt
+// handling, protocol processing) to a *schedulable process*, so under
+// multi-tenant load the network path itself queues behind busy cores —
+// unlike RDMA, where the NIC does the work. Bytes then ride the same
+// simulated fabric as RDMA packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdma/network.h"
+#include "sim/cpu_scheduler.h"
+
+namespace hyperloop::core {
+
+class TcpStack {
+ public:
+  struct Config {
+    /// CPU to send one message: syscall + copy + protocol.
+    sim::Duration send_cpu_base = sim::usec(4);
+    double send_cpu_ns_per_byte = 0.25;
+    /// CPU to deliver one message: interrupt + protocol + copy + wakeup.
+    sim::Duration recv_cpu_base = sim::usec(6);
+    double recv_cpu_ns_per_byte = 0.25;
+  };
+
+  /// Handler receives (source NIC, source port, message bytes).
+  using Handler =
+      std::function<void(rdma::NicId, uint16_t, std::vector<uint8_t>)>;
+
+  TcpStack(sim::EventLoop& loop, rdma::Network& net, rdma::NicId nic_id,
+           sim::CpuScheduler& sched, Config cfg);
+  TcpStack(sim::EventLoop& loop, rdma::Network& net, rdma::NicId nic_id,
+           sim::CpuScheduler& sched)
+      : TcpStack(loop, net, nic_id, sched, Config()) {}
+
+  /// Binds `port` to `handler`, whose CPU time is charged to `proc`.
+  void listen(uint16_t port, sim::ProcessId proc, Handler handler);
+
+  /// Sends `data` to `port` on the server whose NIC is `dst`. The send
+  /// path charges CPU to `sender_proc` before the bytes hit the wire.
+  void send(sim::ProcessId sender_proc, rdma::NicId dst, uint16_t port,
+            std::vector<uint8_t> data);
+
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_received() const { return received_; }
+
+ private:
+  struct Listener {
+    sim::ProcessId proc;
+    Handler handler;
+  };
+
+  void on_datagram(rdma::NicId src, std::vector<uint8_t> bytes);
+
+  sim::EventLoop& loop_;
+  rdma::Network& net_;
+  rdma::NicId nic_id_;
+  sim::CpuScheduler& sched_;
+  Config cfg_;
+  std::unordered_map<uint16_t, Listener> listeners_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,250 @@
+#include "core/two_phase.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+
+namespace hyperloop::core {
+namespace {
+
+// Staging block layout: [count u32][pad u32] then per write
+// [db_offset u64][len u32][pad u32][data, padded to 8].
+std::vector<uint8_t> encode_staging(
+    const std::vector<const TwoPhaseCoordinator::Write*>& writes) {
+  size_t total = 8;
+  for (const auto* w : writes) total += 16 + ((w->data.size() + 7) & ~7ull);
+  std::vector<uint8_t> out(total, 0);
+  const uint32_t count = static_cast<uint32_t>(writes.size());
+  std::memcpy(out.data(), &count, 4);
+  uint8_t* p = out.data() + 8;
+  for (const auto* w : writes) {
+    std::memcpy(p, &w->db_offset, 8);
+    const uint32_t len = static_cast<uint32_t>(w->data.size());
+    std::memcpy(p + 8, &len, 4);
+    std::memcpy(p + 16, w->data.data(), w->data.size());
+    p += 16 + ((w->data.size() + 7) & ~7ull);
+  }
+  return out;
+}
+
+std::vector<uint8_t> encode_status(uint64_t txn, uint64_t state) {
+  std::vector<uint8_t> out(16);
+  std::memcpy(out.data(), &txn, 8);
+  std::memcpy(out.data() + 8, &state, 8);
+  return out;
+}
+
+}  // namespace
+
+struct TwoPhaseCoordinator::TxnCtx {
+  uint64_t id = 0;
+  std::vector<Write> writes;
+  std::vector<size_t> parts;  // involved partitions, ascending
+  std::vector<std::pair<size_t, uint32_t>> lock_order;
+  size_t next_lock = 0;
+  size_t acks = 0;
+  std::function<void(bool)> done;
+};
+
+TwoPhaseCoordinator::TwoPhaseCoordinator(sim::EventLoop& loop,
+                                         std::vector<PartitionCtx> partitions,
+                                         Config cfg)
+    : loop_(loop), parts_(std::move(partitions)), cfg_(cfg) {
+  for (const auto& p : parts_) {
+    assert(p.group != nullptr && p.wal != nullptr && p.locks != nullptr);
+    assert(app_data_base() < p.layout.db_size());
+  }
+}
+
+void TwoPhaseCoordinator::execute(std::vector<Write> writes,
+                                  std::function<void(bool)> done) {
+  auto t = std::make_shared<TxnCtx>();
+  t->id = next_txn_++;
+  t->writes = std::move(writes);
+  t->done = std::move(done);
+
+  std::set<size_t> parts;
+  std::set<std::pair<size_t, uint32_t>> locks;
+  for (const Write& w : t->writes) {
+    assert(w.partition < parts_.size());
+    assert(w.db_offset >= app_data_base() && "write below app_data_base()");
+    parts.insert(w.partition);
+    locks.insert({w.partition, w.lock_id});
+  }
+  t->parts.assign(parts.begin(), parts.end());
+  t->lock_order.assign(locks.begin(), locks.end());
+  acquire_locks(std::move(t), 0);
+}
+
+void TwoPhaseCoordinator::acquire_locks(std::shared_ptr<TxnCtx> t,
+                                        size_t idx) {
+  if (idx == t->lock_order.size()) {
+    prepare_all(std::move(t));
+    return;
+  }
+  const auto [part, lock] = t->lock_order[idx];
+  parts_[part].locks->wr_lock(lock, t->id, [this, t, idx](bool ok) mutable {
+    if (!ok) {
+      // Release what we hold (in reverse) and abort; nothing was logged.
+      auto release = std::make_shared<std::function<void(size_t)>>();
+      *release = [this, t, idx, release](size_t i) {
+        if (i == 0) {
+          finish(t, false);
+          loop_.schedule_after(0, [release] { *release = nullptr; });
+          return;
+        }
+        const auto [p2, l2] = t->lock_order[i - 1];
+        parts_[p2].locks->wr_unlock(l2, t->id,
+                                    [release, i] { (*release)(i - 1); });
+      };
+      (*release)(idx);
+      return;
+    }
+    acquire_locks(std::move(t), idx + 1);
+  });
+}
+
+void TwoPhaseCoordinator::prepare_all(std::shared_ptr<TxnCtx> t) {
+  // Prepare partitions one at a time (simple and restartable under log
+  // backpressure); each step retries itself until its append is accepted.
+  auto step = std::make_shared<std::function<void(size_t)>>();
+  *step = [this, t, step](size_t idx) {
+    if (idx == t->parts.size()) {
+      commit_all(t);
+      loop_.schedule_after(0, [step] { *step = nullptr; });
+      return;
+    }
+    const size_t part = t->parts[idx];
+    std::vector<const Write*> mine;
+    for (const Write& w : t->writes) {
+      if (w.partition == part) mine.push_back(&w);
+    }
+    std::vector<ReplicatedWal::Entry> entries;
+    entries.push_back({staging_offset(t->id), encode_staging(mine)});
+    entries.push_back({status_offset(t->id), encode_status(t->id, kPrepared)});
+    const bool ok = parts_[part].wal->append(
+        entries, [step, idx](uint64_t) { (*step)(idx + 1); });
+    if (!ok) {
+      loop_.schedule_after(sim::usec(200), [step, idx] { (*step)(idx); });
+    }
+  };
+  (*step)(0);
+}
+
+void TwoPhaseCoordinator::commit_all(std::shared_ptr<TxnCtx> t) {
+  // Phase 2, per partition in order: commit-record append (the global
+  // commit point is the last partition's durable append), then two
+  // ExecuteAndAdvance calls per partition (this txn's prepare and commit
+  // records), then unlock everything.
+  auto after_execs = std::make_shared<size_t>(0);
+  const size_t exec_needed = 2 * t->parts.size();
+
+  auto run_execs = [this, t, after_execs, exec_needed] {
+    for (size_t part : t->parts) {
+      for (int k = 0; k < 2; ++k) {
+        auto one_done = [this, t, after_execs, exec_needed] {
+          if (++*after_execs < exec_needed) return;
+          // Release all locks, then report commit.
+          auto release = std::make_shared<std::function<void(size_t)>>();
+          *release = [this, t, release](size_t i) {
+            if (i == t->lock_order.size()) {
+              finish(t, true);
+              loop_.schedule_after(0, [release] { *release = nullptr; });
+              return;
+            }
+            const auto [p2, l2] = t->lock_order[i];
+            parts_[p2].locks->wr_unlock(l2, t->id,
+                                        [release, i] { (*release)(i + 1); });
+          };
+          (*release)(0);
+        };
+        // A concurrent transaction's ExecuteAndAdvance may already have
+        // consumed our record (the log drains FIFO, globally balanced):
+        // an empty log here means our records are applied or in flight.
+        if (!parts_[part].wal->execute_and_advance(one_done)) one_done();
+      }
+    }
+  };
+
+  auto step = std::make_shared<std::function<void(size_t)>>();
+  *step = [this, t, step, run_execs](size_t idx) {
+    if (idx == t->parts.size()) {
+      run_execs();
+      loop_.schedule_after(0, [step] { *step = nullptr; });
+      return;
+    }
+    const size_t part = t->parts[idx];
+    std::vector<ReplicatedWal::Entry> entries;
+    for (const Write& w : t->writes) {
+      if (w.partition == part) entries.push_back({w.db_offset, w.data});
+    }
+    entries.push_back(
+        {status_offset(t->id), encode_status(t->id, kCommitted)});
+    const bool ok = parts_[part].wal->append(
+        entries, [step, idx](uint64_t) { (*step)(idx + 1); });
+    if (!ok) {
+      loop_.schedule_after(sim::usec(200), [step, idx] { (*step)(idx); });
+    }
+  };
+  (*step)(0);
+}
+
+void TwoPhaseCoordinator::finish(std::shared_ptr<TxnCtx> t, bool ok) {
+  if (ok) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  if (t->done) t->done(ok);
+}
+
+void TwoPhaseCoordinator::scan_status(
+    size_t partition, std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  const PartitionCtx& p = parts_[partition];
+  for (uint32_t s = 0; s < cfg_.max_txn_slots; ++s) {
+    uint64_t id = 0, state = 0;
+    p.group->client_load(p.layout.db_base() + uint64_t{s} * 16, &id, 8);
+    p.group->client_load(p.layout.db_base() + uint64_t{s} * 16 + 8, &state, 8);
+    if (id != 0 && state != kNone) out->push_back({id, state});
+  }
+}
+
+uint64_t TwoPhaseCoordinator::recover_partition(
+    size_t partition, const std::vector<uint64_t>& committed_txns) {
+  PartitionCtx& p = parts_[partition];
+  uint64_t rolled_forward = 0;
+  for (uint64_t txn : committed_txns) {
+    uint64_t id = 0, state = 0;
+    p.group->client_load(p.layout.db_base() + status_offset(txn), &id, 8);
+    p.group->client_load(p.layout.db_base() + status_offset(txn) + 8, &state,
+                         8);
+    if (id != txn || state != kPrepared) continue;  // absent or already done
+
+    // Roll forward: rebuild the final writes from the durable staging
+    // block and commit them through the normal replicated path.
+    const uint64_t stage = p.layout.db_base() + staging_offset(txn);
+    uint32_t count = 0;
+    p.group->client_load(stage, &count, 4);
+    std::vector<ReplicatedWal::Entry> entries;
+    uint64_t off = stage + 8;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t db_off = 0;
+      uint32_t len = 0;
+      p.group->client_load(off, &db_off, 8);
+      p.group->client_load(off + 8, &len, 4);
+      std::vector<uint8_t> data(len);
+      p.group->client_load(off + 16, data.data(), len);
+      entries.push_back({db_off, std::move(data)});
+      off += 16 + ((len + 7) & ~7ull);
+    }
+    entries.push_back({status_offset(txn), encode_status(txn, kCommitted)});
+    p.wal->append(entries, [wal = p.wal](uint64_t) {
+      wal->execute_and_advance([] {});
+    });
+    ++rolled_forward;
+  }
+  return rolled_forward;
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,87 @@
+#include "core/txn.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace hyperloop::core {
+
+struct TxnState {
+  uint64_t id = 0;
+  std::vector<ReplicatedWal::Entry> writes;
+  std::vector<uint32_t> lock_ids;
+  size_t next_lock = 0;
+  std::function<void(bool)> done;
+};
+
+void TransactionManager::execute(std::vector<ReplicatedWal::Entry> writes,
+                                 std::vector<uint32_t> lock_ids,
+                                 std::function<void(bool)> done) {
+  auto st = std::make_shared<TxnState>();
+  st->id = next_txn_id_++;
+  st->writes = std::move(writes);
+  st->lock_ids = std::move(lock_ids);
+  std::sort(st->lock_ids.begin(), st->lock_ids.end());
+  st->lock_ids.erase(std::unique(st->lock_ids.begin(), st->lock_ids.end()),
+                     st->lock_ids.end());
+  st->done = std::move(done);
+  acquire_next(std::move(st));
+}
+
+void TransactionManager::acquire_next(std::shared_ptr<TxnState> st) {
+  if (st->next_lock < st->lock_ids.size()) {
+    const uint32_t id = st->lock_ids[st->next_lock];
+    locks_.wr_lock(id, st->id, [this, st](bool ok) mutable {
+      if (!ok) {
+        // Roll back the locks acquired so far, then abort.
+        auto release_and_abort = std::make_shared<std::function<void(size_t)>>();
+        *release_and_abort = [this, st, release_and_abort](size_t i) {
+          if (i == 0) {
+            ++stats_.aborted;
+            st->done(false);
+            // Break the cycle on the next event (never destroy a closure
+            // while it executes).
+            loop_.schedule_after(0, [release_and_abort] {
+              *release_and_abort = nullptr;
+            });
+            return;
+          }
+          locks_.wr_unlock(st->lock_ids[i - 1], st->id,
+                           [release_and_abort, i] {
+                             (*release_and_abort)(i - 1);
+                           });
+        };
+        (*release_and_abort)(st->next_lock);
+        return;
+      }
+      ++st->next_lock;
+      acquire_next(std::move(st));
+    });
+    return;
+  }
+
+  // All locks held: append (commit point), execute, release.
+  const bool ok = wal_.append(st->writes, [this, st](uint64_t) {
+    wal_.execute_and_advance([this, st] {
+      auto release = std::make_shared<std::function<void(size_t)>>();
+      *release = [this, st, release](size_t i) {
+        if (i == st->lock_ids.size()) {
+          ++stats_.committed;
+          st->done(true);
+          loop_.schedule_after(0, [release] { *release = nullptr; });
+          return;
+        }
+        locks_.wr_unlock(st->lock_ids[i], st->id,
+                         [release, i] { (*release)(i + 1); });
+      };
+      (*release)(0);
+    });
+  });
+  if (!ok) {
+    // Log full: in-flight transactions each truncate their own record, so
+    // space frees up as they drain — retry after a short backoff. (The WAL
+    // asserts that a single record always fits in an empty log.)
+    loop_.schedule_after(sim::usec(100), [this, st] { acquire_next(st); });
+  }
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,58 @@
+// ACID transactions over a replication group (§3.1's representative flow):
+//
+//   1. acquire group write locks (gCAS), in sorted order (no deadlock)
+//   2. Append the redo record to the replicated WAL (gWRITE + gFLUSH)
+//      -- the transaction is durable & committed here --
+//   3. ExecuteAndAdvance: apply the record on every replica
+//      (gMEMCPY + gFLUSH) and truncate (gWRITE + gFLUSH)
+//   4. release the locks (gCAS)
+//
+// Atomicity: redo records are applied entirely or (after a crash) replayed
+// from the committed log. Consistency/Isolation: group locks. Durability:
+// every step is gFLUSHed. With HyperLoop as the group backend, steps 2-4
+// never involve a replica CPU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/group.h"
+#include "core/lock.h"
+#include "core/wal.h"
+
+namespace hyperloop::core {
+
+class TransactionManager {
+ public:
+  struct Stats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;  ///< lock acquisition gave up
+  };
+
+  TransactionManager(ReplicationGroup& group, ReplicatedWal& wal,
+                     GroupLockManager& locks, sim::EventLoop& loop)
+      : group_(group), wal_(wal), locks_(locks), loop_(loop) {}
+
+  /// Runs one transaction: `writes` are redo entries against the DB area,
+  /// `lock_ids` the stripes it touches. done(true) after locks released;
+  /// done(false) if locks could not be acquired (nothing was written).
+  void execute(std::vector<ReplicatedWal::Entry> writes,
+               std::vector<uint32_t> lock_ids,
+               std::function<void(bool committed)> done);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void acquire_next(std::shared_ptr<struct TxnState> st);
+
+  ReplicationGroup& group_;
+  ReplicatedWal& wal_;
+  GroupLockManager& locks_;
+  sim::EventLoop& loop_;
+  Stats stats_;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,213 @@
+#include "core/wal.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace hyperloop::core {
+
+ReplicatedWal::ReplicatedWal(ReplicationGroup& group, RegionLayout layout)
+    : group_(group), layout_(layout) {
+  assert(layout_.valid());
+  assert(layout_.region_size <= group.region_size());
+}
+
+uint32_t ReplicatedWal::crc32(const uint8_t* data, size_t len) {
+  // CRC-32 (reflected 0xEDB88320), table-free bitwise variant; the log
+  // payloads are small enough that simplicity beats a table here.
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+std::vector<uint8_t> ReplicatedWal::serialize(
+    const std::vector<Entry>& entries, uint64_t lsn) {
+  size_t body = 0;
+  for (const Entry& e : entries) {
+    body += sizeof(EntryHeader) + ((e.data.size() + 7) & ~size_t{7});
+  }
+  std::vector<uint8_t> out(sizeof(RecordHeader) + body);
+  auto* hdr = reinterpret_cast<RecordHeader*>(out.data());
+  hdr->magic = kRecordMagic;
+  hdr->num_entries = static_cast<uint32_t>(entries.size());
+  hdr->lsn = lsn;
+  hdr->total_len = static_cast<uint32_t>(out.size());
+
+  uint8_t* p = out.data() + sizeof(RecordHeader);
+  for (const Entry& e : entries) {
+    EntryHeader eh;
+    eh.db_offset = e.db_offset;
+    eh.len = static_cast<uint32_t>(e.data.size());
+    std::memcpy(p, &eh, sizeof(eh));
+    p += sizeof(eh);
+    std::memcpy(p, e.data.data(), e.data.size());
+    p += (e.data.size() + 7) & ~size_t{7};
+  }
+  hdr->crc = crc32(out.data() + sizeof(RecordHeader), body);
+  return out;
+}
+
+bool ReplicatedWal::append(const std::vector<Entry>& entries,
+                           std::function<void(uint64_t)> done) {
+  const uint64_t lsn = next_lsn_;
+  std::vector<uint8_t> rec = serialize(entries, lsn);
+  assert(rec.size() <= layout_.log_size / 2 && "record too large for log");
+
+  // Never straddle the ring wrap: pad with a wrap marker if needed.
+  const uint64_t room_to_wrap = layout_.log_size - (tail_ % layout_.log_size);
+  uint64_t wrap_pad = 0;
+  if (rec.size() > room_to_wrap) wrap_pad = room_to_wrap;
+
+  if (rec.size() + wrap_pad > free_bytes()) {
+    ++stats_.append_failures;
+    return false;
+  }
+  ++next_lsn_;
+
+  if (wrap_pad > 0) {
+    RecordHeader wrap;
+    wrap.magic = kWrapMagic;
+    wrap.total_len = static_cast<uint32_t>(wrap_pad);
+    group_.client_store(log_phys(tail_), &wrap, sizeof(wrap));
+    // Replicate at least the marker header (the rest of the pad is junk
+    // that readers skip via total_len).
+    group_.gwrite(log_phys(tail_), sizeof(wrap), /*flush=*/true, [] {});
+    tail_ += wrap_pad;
+  }
+
+  const uint64_t rec_voff = tail_;
+  group_.client_store(log_phys(rec_voff), rec.data(),
+                      static_cast<uint32_t>(rec.size()));
+  tail_ += rec.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += rec.size();
+
+  // 1) the record body, 2) the tail pointer. Both flushed; same-primitive
+  // ordering guarantees the tail never becomes durable before the record.
+  group_.gwrite(log_phys(rec_voff), static_cast<uint32_t>(rec.size()),
+                /*flush=*/true, [] {});
+  write_pointer(RegionLayout::kTailOffset, tail_,
+                [lsn, done = std::move(done)] {
+                  if (done) done(lsn);
+                });
+  return true;
+}
+
+void ReplicatedWal::write_pointer(uint64_t ctrl_offset, uint64_t value,
+                                  std::function<void()> done) {
+  group_.client_store(RegionLayout::kControlBase + ctrl_offset, &value, 8);
+  group_.gwrite(RegionLayout::kControlBase + ctrl_offset, 8, /*flush=*/true,
+                std::move(done));
+}
+
+bool ReplicatedWal::execute_and_advance(std::function<void()> done) {
+  // Skip wrap markers.
+  while (head_ != tail_) {
+    RecordHeader hdr;
+    group_.client_load(log_phys(head_), &hdr, sizeof(hdr));
+    if (hdr.magic == kWrapMagic) {
+      head_ += hdr.total_len;
+      continue;
+    }
+    assert(hdr.magic == kRecordMagic && "corrupt log record");
+    break;
+  }
+  if (head_ == tail_) return false;
+
+  RecordHeader hdr;
+  const uint64_t rec_voff = head_;
+  group_.client_load(log_phys(rec_voff), &hdr, sizeof(hdr));
+
+  // Advance the in-memory head eagerly so a concurrent caller processes
+  // the *next* record. FIFO gMEMCPY/gWRITE acks guarantee the durable
+  // head pointer writes still land in record order.
+  head_ = rec_voff + hdr.total_len;
+
+  // Issue one gMEMCPY+gFLUSH per entry; complete when all have ACKed,
+  // then durably advance the head (log truncation).
+  auto remaining = std::make_shared<uint32_t>(hdr.num_entries);
+  auto advance = [this, rec_voff, total = hdr.total_len,
+                  done = std::move(done)]() mutable {
+    ++stats_.records_executed;
+    write_pointer(RegionLayout::kHeadOffset, rec_voff + total,
+                  std::move(done));
+  };
+
+  if (hdr.num_entries == 0) {
+    advance();
+    return true;
+  }
+
+  auto shared_advance =
+      std::make_shared<std::function<void()>>(std::move(advance));
+  uint64_t p = rec_voff + sizeof(RecordHeader);
+  for (uint32_t i = 0; i < hdr.num_entries; ++i) {
+    EntryHeader eh;
+    group_.client_load(log_phys(p), &eh, sizeof(eh));
+    const uint64_t data_voff = p + sizeof(EntryHeader);
+    group_.gmemcpy(log_phys(data_voff), layout_.db_base() + eh.db_offset,
+                   eh.len, /*flush=*/true,
+                   [remaining, shared_advance] {
+                     if (--*remaining == 0) (*shared_advance)();
+                   });
+    p = data_voff + ((eh.len + 7) & ~uint64_t{7});
+  }
+  return true;
+}
+
+uint64_t ReplicatedWal::replay(const RegionLayout& layout, const LoadFn& load,
+                               const StoreFn& store) {
+  uint64_t head = 0, tail = 0;
+  load(RegionLayout::kControlBase + RegionLayout::kHeadOffset, &head, 8);
+  load(RegionLayout::kControlBase + RegionLayout::kTailOffset, &tail, 8);
+
+  auto phys = [&](uint64_t v) {
+    return layout.log_base() + (v % layout.log_size);
+  };
+
+  uint64_t applied = 0;
+  uint64_t v = head;
+  while (v < tail) {
+    RecordHeader hdr;
+    load(phys(v), &hdr, sizeof(hdr));
+    if (hdr.magic == kWrapMagic) {
+      v += hdr.total_len;
+      continue;
+    }
+    if (hdr.magic != kRecordMagic || hdr.total_len == 0 ||
+        v + hdr.total_len > tail) {
+      break;  // torn tail; committed prefix ends here
+    }
+    // Verify the checksum before applying.
+    const uint32_t body = hdr.total_len - sizeof(RecordHeader);
+    std::vector<uint8_t> buf(body);
+    load(phys(v + sizeof(RecordHeader)), buf.data(), body);
+    if (crc32(buf.data(), body) != hdr.crc) break;
+
+    const uint8_t* p = buf.data();
+    for (uint32_t i = 0; i < hdr.num_entries; ++i) {
+      EntryHeader eh;
+      std::memcpy(&eh, p, sizeof(eh));
+      p += sizeof(eh);
+      store(layout.db_base() + eh.db_offset, p, eh.len);
+      p += (eh.len + 7) & ~size_t{7};
+    }
+    ++applied;
+    v += hdr.total_len;
+  }
+  return applied;
+}
+
+void ReplicatedWal::reload_pointers() {
+  group_.client_load(RegionLayout::kControlBase + RegionLayout::kHeadOffset,
+                     &head_, 8);
+  group_.client_load(RegionLayout::kControlBase + RegionLayout::kTailOffset,
+                     &tail_, 8);
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,116 @@
+// Replicated write-ahead log (§5, "Log Replication" / "Log Processing").
+//
+// Records are redo logs: lists of (db_offset, bytes) modifications. The
+// client appends a record with Append() — a gWRITE+gFLUSH of the record
+// body followed by a gWRITE+gFLUSH of the tail pointer, so the tail is the
+// commit point: a record is committed iff the durable tail covers it.
+// ExecuteAndAdvance() applies the record at the head on every replica with
+// one gMEMCPY+gFLUSH per entry and then advances the durable head
+// (truncation). Replay() performs crash recovery: it re-applies every
+// committed-but-unprocessed record, which is idempotent because records
+// are pure redo.
+//
+// Log space is a ring addressed by monotonically increasing virtual
+// offsets (physical = v % log_size); records never straddle the wrap — a
+// wrap-marker record pads the tail of the ring instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/group.h"
+#include "core/region_layout.h"
+
+namespace hyperloop::core {
+
+class ReplicatedWal {
+ public:
+  struct Entry {
+    uint64_t db_offset = 0;  ///< destination, relative to the DB area
+    std::vector<uint8_t> data;
+  };
+
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t records_executed = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t append_failures = 0;  ///< log-full backpressure events
+  };
+
+  ReplicatedWal(ReplicationGroup& group, RegionLayout layout);
+
+  /// Appends a redo record. Returns false (and does nothing) if the log
+  /// lacks space — the caller must ExecuteAndAdvance (truncate) first.
+  /// `done` fires with the record's LSN once the record *and* the tail
+  /// pointer are durably replicated.
+  bool append(const std::vector<Entry>& entries,
+              std::function<void(uint64_t lsn)> done);
+
+  /// Applies the record at the head on all replicas (gMEMCPY+gFLUSH per
+  /// entry), then durably advances the head. Returns false if there is
+  /// no unprocessed record. `done` fires when the head advance is durable.
+  bool execute_and_advance(std::function<void()> done);
+
+  /// Virtual head/tail offsets (head == tail means empty).
+  uint64_t head() const { return head_; }
+  uint64_t tail() const { return tail_; }
+  uint64_t used_bytes() const { return tail_ - head_; }
+  uint64_t free_bytes() const { return layout_.log_size - used_bytes(); }
+  bool empty() const { return head_ == tail_; }
+  const Stats& stats() const { return stats_; }
+  const RegionLayout& layout() const { return layout_; }
+
+  /// Crash recovery over a raw region image: re-applies every record in
+  /// [head, tail) to the DB area and returns the number applied. Works on
+  /// any replica's (or the client's) region bytes via the provided
+  /// load/store callbacks. Corrupt (checksum-failing) records stop the
+  /// replay — they can only be a torn tail write, which the durable tail
+  /// pointer already excludes in normal operation.
+  using LoadFn = std::function<void(uint64_t off, void* dst, uint32_t len)>;
+  using StoreFn = std::function<void(uint64_t off, const void* src, uint32_t len)>;
+  static uint64_t replay(const RegionLayout& layout, const LoadFn& load,
+                         const StoreFn& store);
+
+  /// Recovers this WAL's in-memory pointers from the client region
+  /// (used after a coordinator restart in tests).
+  void reload_pointers();
+
+ private:
+  static constexpr uint32_t kRecordMagic = 0x57414C21;  // "WAL!"
+  static constexpr uint32_t kWrapMagic = 0x57524150;    // "WRAP"
+
+  struct RecordHeader {
+    uint32_t magic = 0;
+    uint32_t num_entries = 0;
+    uint64_t lsn = 0;
+    uint32_t total_len = 0;  ///< whole record, header included
+    uint32_t crc = 0;        ///< over the serialized entries
+  };
+  struct EntryHeader {
+    uint64_t db_offset = 0;
+    uint32_t len = 0;
+    uint32_t pad = 0;
+  };
+
+  static uint32_t crc32(const uint8_t* data, size_t len);
+  static std::vector<uint8_t> serialize(const std::vector<Entry>& entries,
+                                        uint64_t lsn);
+
+  /// Physical offset (within the whole region) of virtual log offset v.
+  uint64_t log_phys(uint64_t v) const {
+    return layout_.log_base() + (v % layout_.log_size);
+  }
+
+  void write_pointer(uint64_t ctrl_offset, uint64_t value,
+                     std::function<void()> done);
+
+  ReplicationGroup& group_;
+  RegionLayout layout_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+  uint64_t next_lsn_ = 1;
+  Stats stats_;
+};
+
+}  // namespace hyperloop::core

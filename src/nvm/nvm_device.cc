@@ -1,0 +1,62 @@
+#include "nvm/nvm_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperloop::nvm {
+
+NvmDevice::NvmDevice(rdma::HostMemory& mem, size_t size)
+    : mem_(mem), base_(mem.alloc(size, 4096)), size_(size), durable_(size, 0) {
+  mem_.add_write_observer(
+      [this](rdma::Addr addr, size_t len) { on_write(addr, len); });
+}
+
+rdma::Addr NvmDevice::alloc(size_t bytes, size_t align) {
+  uint64_t off = (next_ + align - 1) & ~(align - 1);
+  assert(off + bytes <= size_ && "NVM exhausted");
+  next_ = off + bytes;
+  return base_ + off;
+}
+
+void NvmDevice::on_write(rdma::Addr addr, size_t len) {
+  const uint64_t begin = std::max<uint64_t>(addr, base_);
+  const uint64_t end = std::min<uint64_t>(addr + len, base_ + size_);
+  if (begin >= end) return;
+  dirty_.insert(begin - base_, end - base_);
+}
+
+void NvmDevice::persist(rdma::Addr addr, uint64_t len) {
+  const uint64_t begin = std::max<uint64_t>(addr, base_);
+  const uint64_t end = std::min<uint64_t>(addr + len, base_ + size_);
+  if (begin >= end) return;
+  mem_.read(begin, durable_.data() + (begin - base_), end - begin);
+  dirty_.erase(begin - base_, end - base_);
+}
+
+void NvmDevice::persist_all() {
+  for (const auto& iv : dirty_.intervals()) {
+    mem_.read(base_ + iv.begin, durable_.data() + iv.begin, iv.end - iv.begin);
+  }
+  dirty_.clear();
+}
+
+bool NvmDevice::is_durable(rdma::Addr addr, uint64_t len) const {
+  const uint64_t begin = std::max<uint64_t>(addr, base_);
+  const uint64_t end = std::min<uint64_t>(addr + len, base_ + size_);
+  if (begin >= end) return true;
+  return !dirty_.intersects(begin - base_, end - base_);
+}
+
+void NvmDevice::crash() {
+  ++crashes_;
+  // Revert only the dirty ranges; everything else already matches the
+  // durable image.
+  for (const auto& iv : dirty_.intervals()) {
+    mem_.write(base_ + iv.begin, durable_.data() + iv.begin, iv.end - iv.begin);
+  }
+  // The writes just performed re-marked those ranges dirty via the
+  // observer; clear after restoring.
+  dirty_.clear();
+}
+
+}  // namespace hyperloop::nvm

@@ -1,0 +1,93 @@
+#include "rdma/memory.h"
+
+#include <cassert>
+
+namespace hyperloop::rdma {
+
+Addr HostMemory::alloc(size_t size, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  size_t base = (next_ + align - 1) & ~(align - 1);
+  assert(base + size <= bytes_.size() && "HostMemory exhausted");
+  next_ = base + size;
+  return base;
+}
+
+void HostMemory::check(Addr addr, size_t len) const {
+  assert(addr + len <= bytes_.size() && "HostMemory access out of bounds");
+  (void)addr;
+  (void)len;
+}
+
+void HostMemory::write(Addr addr, const void* src, size_t len) {
+  if (len == 0) return;
+  check(addr, len);
+  std::memcpy(bytes_.data() + addr, src, len);
+  for (const auto& fn : observers_) fn(addr, len);
+}
+
+void HostMemory::read(Addr addr, void* dst, size_t len) const {
+  if (len == 0) return;
+  check(addr, len);
+  std::memcpy(dst, bytes_.data() + addr, len);
+}
+
+void HostMemory::copy(Addr dst, Addr src, size_t len) {
+  if (len == 0) return;
+  check(dst, len);
+  check(src, len);
+  std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
+  for (const auto& fn : observers_) fn(dst, len);
+}
+
+void HostMemory::fill(Addr addr, uint8_t value, size_t len) {
+  if (len == 0) return;
+  check(addr, len);
+  std::memset(bytes_.data() + addr, value, len);
+  for (const auto& fn : observers_) fn(addr, len);
+}
+
+const uint8_t* HostMemory::view(Addr addr, size_t len) const {
+  check(addr, len);
+  return bytes_.data() + addr;
+}
+
+MemoryRegion MrTable::register_mr(Addr addr, uint64_t length, uint32_t access) {
+  MemoryRegion mr;
+  mr.addr = addr;
+  mr.length = length;
+  mr.access = access;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  by_rkey_.emplace(mr.rkey, mr);
+  by_lkey_.emplace(mr.lkey, mr);
+  return mr;
+}
+
+bool MrTable::deregister(uint32_t rkey) {
+  auto it = by_rkey_.find(rkey);
+  if (it == by_rkey_.end()) return false;
+  by_lkey_.erase(it->second.lkey);
+  by_rkey_.erase(it);
+  return true;
+}
+
+bool MrTable::in_bounds(const MemoryRegion& mr, Addr addr, uint64_t len) {
+  return addr >= mr.addr && addr + len <= mr.addr + mr.length;
+}
+
+bool MrTable::check_remote(uint32_t rkey, Addr addr, uint64_t len,
+                           uint32_t need) const {
+  auto it = by_rkey_.find(rkey);
+  if (it == by_rkey_.end()) return false;
+  const MemoryRegion& mr = it->second;
+  if ((mr.access & need) != need) return false;
+  return in_bounds(mr, addr, len);
+}
+
+bool MrTable::check_local(uint32_t lkey, Addr addr, uint64_t len) const {
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return false;
+  return in_bounds(it->second, addr, len);
+}
+
+}  // namespace hyperloop::rdma

@@ -1,0 +1,127 @@
+// Per-server host memory and RDMA memory-region registration.
+//
+// Each simulated server owns one flat HostMemory address space (a bump
+// allocator over a byte arena). All mutation goes through write()/
+// write_obj() so that observers — the NVM durability tracker — see every
+// store, whether it came from the CPU or a NIC DMA engine.
+//
+// MrTable models the protection domain: regions are registered with access
+// rights and receive lkey/rkey capabilities; every NIC access is checked
+// against (key, bounds, rights), exactly the checks that keep HyperLoop's
+// remotely-writable work queues safe (§7, security analysis).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace hyperloop::rdma {
+
+/// A virtual address within a server's HostMemory space.
+using Addr = uint64_t;
+
+/// Access rights for a registered memory region (bitmask).
+enum Access : uint32_t {
+  kLocalWrite = 1u << 0,
+  kRemoteRead = 1u << 1,
+  kRemoteWrite = 1u << 2,
+  kRemoteAtomic = 1u << 3,
+};
+
+/// One server's physical memory: arena + bump allocator + write observers.
+class HostMemory {
+ public:
+  explicit HostMemory(size_t capacity) : bytes_(capacity, 0) {}
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
+
+  /// Allocates `size` bytes aligned to `align` (power of two).
+  /// Terminates the simulation (assert) on exhaustion — capacity is an
+  /// experiment parameter, not a runtime condition.
+  Addr alloc(size_t size, size_t align = 64);
+
+  /// Copies `len` bytes into memory at `addr`, notifying observers.
+  void write(Addr addr, const void* src, size_t len);
+
+  /// Copies `len` bytes out of memory at `addr`.
+  void read(Addr addr, void* dst, size_t len) const;
+
+  /// Memory-to-memory copy within this address space (DMA engines use
+  /// this for gMEMCPY); handles overlap like memmove.
+  void copy(Addr dst, Addr src, size_t len);
+
+  /// Fills `len` bytes at `addr` with `value`.
+  void fill(Addr addr, uint8_t value, size_t len);
+
+  /// Typed load of a trivially-copyable object.
+  template <typename T>
+  T read_obj(Addr addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T t;
+    read(addr, &t, sizeof(T));
+    return t;
+  }
+
+  /// Typed store of a trivially-copyable object.
+  template <typename T>
+  void write_obj(Addr addr, const T& t) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(addr, &t, sizeof(T));
+  }
+
+  /// Read-only raw view (bounds-checked); used for payload gathers.
+  const uint8_t* view(Addr addr, size_t len) const;
+
+  /// Registers an observer called after every write with (addr, len).
+  void add_write_observer(std::function<void(Addr, size_t)> fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+  size_t capacity() const { return bytes_.size(); }
+  size_t used() const { return next_; }
+
+ private:
+  void check(Addr addr, size_t len) const;
+
+  std::vector<uint8_t> bytes_;
+  size_t next_ = 64;  // keep address 0 unused as a poison value
+  std::vector<std::function<void(Addr, size_t)>> observers_;
+};
+
+/// A registered memory region.
+struct MemoryRegion {
+  Addr addr = 0;
+  uint64_t length = 0;
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+  uint32_t access = 0;
+};
+
+/// Registration table for one server (protection-domain scope).
+class MrTable {
+ public:
+  /// Registers [addr, addr+length) with the given access rights.
+  MemoryRegion register_mr(Addr addr, uint64_t length, uint32_t access);
+
+  /// Revokes a registration by its rkey. Returns false if unknown.
+  bool deregister(uint32_t rkey);
+
+  /// Checks that `key` grants `need` access over [addr, addr+len).
+  /// `key` is matched against rkey for remote rights and lkey for local.
+  bool check_remote(uint32_t rkey, Addr addr, uint64_t len, uint32_t need) const;
+  bool check_local(uint32_t lkey, Addr addr, uint64_t len) const;
+
+  size_t size() const { return by_rkey_.size(); }
+
+ private:
+  static bool in_bounds(const MemoryRegion& mr, Addr addr, uint64_t len);
+
+  uint32_t next_key_ = 0x1000;
+  std::unordered_map<uint32_t, MemoryRegion> by_rkey_;
+  std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
+};
+
+}  // namespace hyperloop::rdma

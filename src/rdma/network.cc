@@ -1,0 +1,60 @@
+#include "rdma/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hyperloop::rdma {
+
+NicId Network::attach(
+    std::function<void(Packet)> on_packet,
+    std::function<void(NicId, std::vector<uint8_t>)> on_datagram) {
+  const NicId id = static_cast<NicId>(endpoints_.size());
+  endpoints_.push_back(
+      Endpoint{std::move(on_packet), std::move(on_datagram), 0});
+  return id;
+}
+
+void Network::set_datagram_handler(
+    NicId id, std::function<void(NicId, std::vector<uint8_t>)> fn) {
+  assert(id < endpoints_.size());
+  endpoints_[id].on_datagram = std::move(fn);
+}
+
+sim::Duration Network::serialize_time(size_t bytes) const {
+  const double ns = static_cast<double>(bytes) * 8.0 / cfg_.bandwidth_bps * 1e9;
+  return static_cast<sim::Duration>(ns) + 1;  // never zero: keeps FIFO strict
+}
+
+sim::Time Network::schedule_tx(NicId src, size_t bytes) {
+  assert(src < endpoints_.size());
+  Endpoint& ep = endpoints_[src];
+  const sim::Time start = std::max(loop_.now(), ep.tx_busy_until);
+  const sim::Time tx_end = start + serialize_time(bytes);
+  ep.tx_busy_until = tx_end;
+  return tx_end + cfg_.propagation_delay;
+}
+
+void Network::transmit(Packet pkt) {
+  assert(pkt.dst_nic < endpoints_.size());
+  const sim::Time arrival = schedule_tx(pkt.src_nic, pkt.wire_bytes());
+  if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
+    ++packets_dropped_;
+    return;  // eaten by the fabric; RC retransmission recovers
+  }
+  loop_.schedule_at(arrival, [this, p = std::move(pkt)]() mutable {
+    ++packets_delivered_;
+    endpoints_[p.dst_nic].on_packet(std::move(p));
+  });
+}
+
+void Network::transmit_datagram(NicId src, NicId dst,
+                                std::vector<uint8_t> bytes) {
+  assert(dst < endpoints_.size());
+  const sim::Time arrival = schedule_tx(src, bytes.size() + 64);
+  loop_.schedule_at(arrival, [this, src, dst, b = std::move(bytes)]() mutable {
+    assert(endpoints_[dst].on_datagram && "no datagram handler registered");
+    endpoints_[dst].on_datagram(src, std::move(b));
+  });
+}
+
+}  // namespace hyperloop::rdma

@@ -1,0 +1,637 @@
+#include "rdma/nic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace hyperloop::rdma {
+
+Nic::Nic(sim::EventLoop& loop, Network& net, HostMemory& mem,
+         nvm::NvmDevice* nvm, Config cfg)
+    : loop_(loop), net_(net), mem_(mem), nvm_(nvm), cfg_(cfg) {
+  id_ = net_.attach([this](Packet p) { on_packet(std::move(p)); });
+}
+
+CompletionQueue* Nic::create_cq(size_t capacity) {
+  const uint32_t id = next_cqn_++;
+  auto cq = std::make_unique<CompletionQueue>(id, capacity);
+  cq->set_counter_watcher([this, id](uint64_t) { on_cq_advance(id); });
+  auto* ptr = cq.get();
+  cqs_.emplace(id, std::move(cq));
+  return ptr;
+}
+
+QueuePair* Nic::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                          uint32_t sq_slots) {
+  if (sq_slots == 0) sq_slots = cfg_.default_sq_slots;
+  auto qp = std::make_unique<QueuePair>();
+  qp->qpn = next_qpn_++;
+  qp->nic = this;
+  qp->sq_slots = sq_slots;
+  qp->sq_base = mem_.alloc(uint64_t{sq_slots} * sizeof(Wqe), 64);
+  qp->send_cq = send_cq;
+  qp->recv_cq = recv_cq;
+  auto* ptr = qp.get();
+  qps_.emplace(ptr->qpn, std::move(qp));
+  return ptr;
+}
+
+QueuePair* Nic::create_loopback_qp(CompletionQueue* send_cq,
+                                   uint32_t sq_slots) {
+  QueuePair* qp = create_qp(send_cq, nullptr, sq_slots);
+  qp->loopback = true;
+  qp->connected = true;
+  qp->remote_nic = id_;
+  qp->remote_qpn = qp->qpn;
+  return qp;
+}
+
+void Nic::connect(QueuePair* qp, NicId remote_nic, uint32_t remote_qpn) {
+  assert(!qp->loopback);
+  qp->connected = true;
+  qp->remote_nic = remote_nic;
+  qp->remote_qpn = remote_qpn;
+}
+
+QueuePair* Nic::qp(uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+CompletionQueue* Nic::cq(uint32_t id) {
+  auto it = cqs_.find(id);
+  return it == cqs_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Nic::post_send(QueuePair* qp, Wqe wqe, bool deferred_ownership) {
+  assert(qp->sq_depth() < qp->sq_slots && "send queue overflow");
+  wqe.d.active = deferred_ownership ? 0 : 1;
+  const uint64_t seq = qp->sq_tail++;
+  mem_.write_obj(qp->slot_addr(seq), wqe);
+  kick(qp);
+  return seq;
+}
+
+void Nic::grant_ownership(QueuePair* qp, uint64_t slot_seq) {
+  const Addr a = qp->slot_addr(slot_seq);
+  auto w = mem_.read_obj<Wqe>(a);
+  w.d.active = 1;
+  mem_.write_obj(a, w);
+  kick(qp);
+}
+
+void Nic::post_recv(QueuePair* qp, RecvWqe wqe) {
+  qp->recv_queue.push_back(std::move(wqe));
+  // Replay a receiver-not-ready packet if one is parked.
+  if (!qp->stalled_inbound.empty()) {
+    Packet p = std::move(qp->stalled_inbound.front());
+    qp->stalled_inbound.pop_front();
+    handle_packet(std::move(p));
+  }
+}
+
+SharedReceiveQueue* Nic::create_srq() {
+  auto srq = std::make_unique<SharedReceiveQueue>();
+  srq->srqn = static_cast<uint32_t>(srqs_.size()) + 1;
+  srqs_.push_back(std::move(srq));
+  return srqs_.back().get();
+}
+
+void Nic::attach_srq(QueuePair* qp, SharedReceiveQueue* srq) {
+  qp->srq = srq;
+  srq_members_[srq].push_back(qp);
+}
+
+void Nic::post_srq_recv(SharedReceiveQueue* srq, RecvWqe wqe) {
+  srq->queue.push_back(std::move(wqe));
+  // Replay one parked packet from any attached QP (FIFO across members).
+  for (QueuePair* qp : srq_members_[srq]) {
+    if (!qp->stalled_inbound.empty()) {
+      Packet p = std::move(qp->stalled_inbound.front());
+      qp->stalled_inbound.pop_front();
+      handle_packet(std::move(p));
+      return;
+    }
+  }
+}
+
+sim::Duration Nic::dma_cost(size_t bytes) const {
+  return static_cast<sim::Duration>(cfg_.dma_ns_per_byte *
+                                    static_cast<double>(bytes));
+}
+
+// ---------------------------------------------------------------- engine --
+
+void Nic::kick(QueuePair* qp) {
+  if (qp->engine_running) return;
+  qp->engine_running = true;
+  qp->blocked_on_wait = false;
+  engine_step(qp);
+}
+
+void Nic::engine_step(QueuePair* qp) {
+  if (qp->sq_head == qp->sq_tail) {
+    qp->engine_running = false;
+    return;
+  }
+  const auto w = mem_.read_obj<Wqe>(qp->slot_addr(qp->sq_head));
+  if (static_cast<Opcode>(w.d.opcode) == Opcode::kWait && w.d.active) {
+    CompletionQueue* c = cq(w.wait_cq);
+    assert(c != nullptr && "WAIT references unknown CQ");
+    if (c->completion_count() >= w.wait_threshold) {
+      ++qp->sq_head;
+      ++counters_.wqes_executed;
+      loop_.schedule_after(cfg_.wait_cost, [this, qp] { engine_step(qp); });
+      return;
+    }
+    qp->engine_running = false;
+    qp->blocked_on_wait = true;
+    block_on_cq(qp, w.wait_cq);
+    return;
+  }
+  if (!w.d.active) {
+    // Ownership still with the driver; a DMA patch or grant_ownership()
+    // will re-kick this queue.
+    qp->engine_running = false;
+    return;
+  }
+  ++qp->sq_head;
+  ++counters_.wqes_executed;
+  loop_.schedule_after(cfg_.wqe_cost + qp_context_touch(qp->qpn),
+                       [this, qp, w] { execute(qp, w); });
+}
+
+sim::Duration Nic::qp_context_touch(uint32_t qpn) {
+  if (cfg_.qp_cache_entries == 0) return 0;
+  auto it = std::find(qp_cache_mru_.begin(), qp_cache_mru_.end(), qpn);
+  if (it != qp_cache_mru_.end()) {
+    qp_cache_mru_.erase(it);
+    qp_cache_mru_.insert(qp_cache_mru_.begin(), qpn);
+    ++counters_.qp_cache_hits;
+    return 0;
+  }
+  qp_cache_mru_.insert(qp_cache_mru_.begin(), qpn);
+  if (qp_cache_mru_.size() > cfg_.qp_cache_entries) qp_cache_mru_.pop_back();
+  ++counters_.qp_cache_misses;
+  return cfg_.qp_cache_miss_cost;
+}
+
+void Nic::execute(QueuePair* qp, const Wqe& w) {
+  const auto op = static_cast<Opcode>(w.d.opcode);
+  const bool local = qp->loopback || op == Opcode::kNop ||
+                     op == Opcode::kLocalCopy;
+  if (local) {
+    execute_local(qp, w);
+  } else {
+    assert(qp->connected && "WQE posted on unconnected QP");
+    execute_remote(qp, w);
+  }
+}
+
+void Nic::execute_local(QueuePair* qp, const Wqe& w) {
+  const auto op = static_cast<Opcode>(w.d.opcode);
+  switch (op) {
+    case Opcode::kNop: {
+      local_completion(qp, w, CqStatus::kSuccess, 0);
+      engine_step(qp);
+      return;
+    }
+    case Opcode::kLocalCopy:
+    case Opcode::kWrite: {
+      // Local DMA copy: local_addr -> remote_addr.
+      const sim::Duration cost = dma_cost(w.d.length);
+      loop_.schedule_after(cost, [this, qp, w] {
+        mem_.copy(w.d.remote_addr, w.d.local_addr, w.d.length);
+        after_dma_write(w.d.remote_addr, w.d.length);
+        local_completion(qp, w, CqStatus::kSuccess, w.d.length);
+        engine_step(qp);
+      });
+      return;
+    }
+    case Opcode::kCas: {
+      loop_.schedule_after(cfg_.cas_cost, [this, qp, w] {
+        uint64_t old = 0;
+        mem_.read(w.d.remote_addr, &old, sizeof(old));
+        if (old == w.d.compare) {
+          mem_.write(w.d.remote_addr, &w.d.swap, sizeof(w.d.swap));
+        }
+        if (w.d.local_addr != 0) {
+          mem_.write(w.d.local_addr, &old, sizeof(old));
+          after_dma_write(w.d.local_addr, sizeof(old));
+        }
+        local_completion(qp, w, CqStatus::kSuccess, 8);
+        engine_step(qp);
+      });
+      return;
+    }
+    case Opcode::kRead:
+    case Opcode::kFlush: {
+      // Local flush: write back this NIC's pending volatile writes.
+      if (w.d.length == 0 && nvm_ != nullptr) {
+        nvm_->persist_all();
+        ++counters_.flushes;
+      }
+      local_completion(qp, w, CqStatus::kSuccess, w.d.length);
+      engine_step(qp);
+      return;
+    }
+    default:
+      assert(false && "unsupported local opcode");
+  }
+}
+
+void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
+  const auto op = static_cast<Opcode>(w.d.opcode);
+  Packet p;
+  p.src_nic = id_;
+  p.dst_nic = qp->remote_nic;
+  p.src_qpn = qp->qpn;
+  p.dst_qpn = qp->remote_qpn;
+  p.wr_seq = next_wr_seq_++;
+  p.remote_addr = w.d.remote_addr;
+  p.rkey = w.d.rkey;
+  p.length = w.d.length;
+  p.imm = w.d.imm;
+
+  Outstanding out;
+  out.qpn = qp->qpn;
+  out.wr_id = w.wr_id;
+  out.opcode = w.d.opcode;
+  out.signaled = w.signaled;
+  out.byte_len = w.d.length;
+  out.land_addr = w.d.local_addr;
+
+  sim::Duration gather_cost = 0;
+  switch (op) {
+    case Opcode::kWrite:
+    case Opcode::kWriteImm:
+    case Opcode::kSend: {
+      const size_t total = size_t{w.d.length} + w.d.aux_length;
+      p.payload.resize(total);
+      if (w.d.length > 0) {
+        mem_.read(w.d.local_addr, p.payload.data(), w.d.length);
+      }
+      if (w.d.aux_length > 0) {
+        mem_.read(w.d.aux_addr, p.payload.data() + w.d.length, w.d.aux_length);
+      }
+      p.length = static_cast<uint32_t>(total);
+      p.type = op == Opcode::kWrite      ? Packet::Type::kWrite
+               : op == Opcode::kWriteImm ? Packet::Type::kWriteImm
+                                         : Packet::Type::kSend;
+      gather_cost = dma_cost(total);
+      break;
+    }
+    case Opcode::kRead:
+    case Opcode::kFlush: {
+      p.type = Packet::Type::kRead;
+      if (op == Opcode::kFlush) p.length = 0;
+      break;
+    }
+    case Opcode::kCas: {
+      p.type = Packet::Type::kCas;
+      p.compare = w.d.compare;
+      p.swap = w.d.swap;
+      p.length = 8;
+      break;
+    }
+    default:
+      assert(false && "unsupported remote opcode");
+  }
+
+  p.psn = qp->next_psn++;
+  outstanding_.emplace(p.wr_seq, out);
+  track_request(qp, p);
+  ++counters_.packets_tx;
+  counters_.bytes_tx += p.wire_bytes();
+  net_.transmit(std::move(p));
+  // The engine pipelines: the next WQE may transmit before this one is
+  // ACKed (RC ordering is preserved by per-port FIFO serialization).
+  loop_.schedule_after(gather_cost, [this, qp] { engine_step(qp); });
+}
+
+void Nic::local_completion(QueuePair* qp, const Wqe& w, CqStatus status,
+                           uint32_t bytes) {
+  if (status != CqStatus::kSuccess) ++counters_.remote_access_errors;
+  if (!w.signaled || qp->send_cq == nullptr) return;
+  Cqe c;
+  c.wr_id = w.wr_id;
+  c.qpn = qp->qpn;
+  c.opcode = w.d.opcode;
+  c.status = status;
+  c.byte_len = bytes;
+  qp->send_cq->push(c);
+}
+
+// --------------------------------------------------------------- receive --
+
+void Nic::on_packet(Packet p) {
+  const sim::Duration cost = cfg_.rx_base_cost + dma_cost(p.payload.size()) +
+                             qp_context_touch(p.dst_qpn);
+  rx_busy_until_ = std::max(loop_.now(), rx_busy_until_) + cost;
+  ++counters_.packets_rx;
+  loop_.schedule_at(rx_busy_until_,
+                    [this, pkt = std::move(p)]() mutable {
+                      handle_packet(std::move(pkt));
+                    });
+}
+
+void Nic::handle_packet(Packet p) {
+  if (p.is_request() && !psn_accept(p)) return;
+  switch (p.type) {
+    case Packet::Type::kSend:
+    case Packet::Type::kWriteImm: {
+      QueuePair* dst = qp(p.dst_qpn);
+      assert(dst != nullptr && "packet for unknown QP");
+      std::deque<RecvWqe>& pool =
+          dst->srq != nullptr ? dst->srq->queue : dst->recv_queue;
+      if (pool.empty()) {
+        ++counters_.rnr_stalls;
+        dst->stalled_inbound.push_back(std::move(p));
+        return;
+      }
+      if (p.type == Packet::Type::kWriteImm) {
+        responder_write(p);  // sends the ACK itself
+        // Consume a RECV to deliver the immediate.
+        RecvWqe r = std::move(pool.front());
+        pool.pop_front();
+        Cqe c;
+        c.wr_id = r.wr_id;
+        c.qpn = dst->qpn;
+        c.opcode = static_cast<uint8_t>(Opcode::kWriteImm);
+        c.byte_len = p.length;
+        c.imm = p.imm;
+        c.has_imm = true;
+        if (dst->recv_cq != nullptr) dst->recv_cq->push(c);
+      } else {
+        responder_send(p, dst);
+      }
+      return;
+    }
+    case Packet::Type::kWrite:
+      responder_write(p);
+      return;
+    case Packet::Type::kRead:
+      responder_read(p);
+      return;
+    case Packet::Type::kCas:
+      responder_cas(p);
+      return;
+    case Packet::Type::kAck:
+    case Packet::Type::kReadResp:
+    case Packet::Type::kCasResp:
+      requester_response(p);
+      return;
+  }
+}
+
+void Nic::responder_send(Packet& p, QueuePair* dst) {
+  std::deque<RecvWqe>& pool =
+      dst->srq != nullptr ? dst->srq->queue : dst->recv_queue;
+  RecvWqe r = std::move(pool.front());
+  pool.pop_front();
+
+  // Scatter the payload across the RECV's SGE list, in order. This is
+  // where remote work-request manipulation happens: SGEs may point at
+  // pre-posted WQE descriptors in the send-queue rings.
+  size_t off = 0;
+  CqStatus status = CqStatus::kSuccess;
+  for (const Sge& sge : r.sges) {
+    if (off >= p.payload.size()) break;
+    const size_t n = std::min<size_t>(sge.length, p.payload.size() - off);
+    if (!mrs_.check_local(sge.lkey, sge.addr, n)) {
+      status = CqStatus::kLocalProtectionError;
+      break;
+    }
+    mem_.write(sge.addr, p.payload.data() + off, n);
+    after_dma_write(sge.addr, n);
+    off += n;
+  }
+  if (off < p.payload.size() && status == CqStatus::kSuccess) {
+    // Payload larger than the scatter list.
+    status = CqStatus::kLocalProtectionError;
+  }
+
+  Cqe c;
+  c.wr_id = r.wr_id;
+  c.qpn = dst->qpn;
+  c.opcode = static_cast<uint8_t>(Opcode::kSend);
+  c.status = status;
+  c.byte_len = static_cast<uint32_t>(p.payload.size());
+  if (dst->recv_cq != nullptr) dst->recv_cq->push(c);
+
+  send_response(p, Packet::Type::kAck, {}, static_cast<uint8_t>(status));
+}
+
+void Nic::responder_write(Packet& p) {
+  CqStatus status = CqStatus::kSuccess;
+  if (!mrs_.check_remote(p.rkey, p.remote_addr, p.payload.size(),
+                         kRemoteWrite)) {
+    status = CqStatus::kRemoteAccessError;
+    ++counters_.remote_access_errors;
+  } else if (!p.payload.empty()) {
+    mem_.write(p.remote_addr, p.payload.data(), p.payload.size());
+    after_dma_write(p.remote_addr, p.payload.size());
+  }
+  send_response(p, Packet::Type::kAck, {}, static_cast<uint8_t>(status));
+}
+
+void Nic::responder_read(Packet& p) {
+  CqStatus status = CqStatus::kSuccess;
+  std::vector<uint8_t> data;
+  if (!mrs_.check_remote(p.rkey, p.remote_addr, p.length, kRemoteRead)) {
+    status = CqStatus::kRemoteAccessError;
+    ++counters_.remote_access_errors;
+  } else if (p.length == 0) {
+    // gFLUSH: a 0-byte READ flushes this NIC's volatile writes into the
+    // durable domain before the response (= durability ACK) goes back.
+    if (nvm_ != nullptr) nvm_->persist_all();
+    ++counters_.flushes;
+  } else {
+    data.resize(p.length);
+    mem_.read(p.remote_addr, data.data(), p.length);
+  }
+  send_response(p, Packet::Type::kReadResp, std::move(data),
+                static_cast<uint8_t>(status));
+}
+
+void Nic::responder_cas(Packet& p) {
+  CqStatus status = CqStatus::kSuccess;
+  uint64_t old = 0;
+  if (!mrs_.check_remote(p.rkey, p.remote_addr, 8, kRemoteAtomic)) {
+    status = CqStatus::kRemoteAccessError;
+    ++counters_.remote_access_errors;
+  } else {
+    mem_.read(p.remote_addr, &old, sizeof(old));
+    if (old == p.compare) {
+      mem_.write(p.remote_addr, &p.swap, sizeof(p.swap));
+    }
+  }
+  std::vector<uint8_t> payload(sizeof(old));
+  std::memcpy(payload.data(), &old, sizeof(old));
+  send_response(p, Packet::Type::kCasResp, std::move(payload),
+                static_cast<uint8_t>(status));
+}
+
+void Nic::send_response(const Packet& req, Packet::Type type,
+                        std::vector<uint8_t> payload, uint8_t status) {
+  Packet resp;
+  resp.type = type;
+  resp.src_nic = id_;
+  resp.dst_nic = req.src_nic;
+  resp.src_qpn = req.dst_qpn;
+  resp.dst_qpn = req.src_qpn;
+  resp.wr_seq = req.wr_seq;
+  resp.psn = req.psn;
+  resp.status = status;
+  resp.payload = std::move(payload);
+  if (QueuePair* local = qp(req.dst_qpn)) {
+    cache_response(local, req.psn, resp);
+  }
+  ++counters_.packets_tx;
+  counters_.bytes_tx += resp.wire_bytes();
+  net_.transmit(std::move(resp));
+}
+
+void Nic::requester_response(Packet& p) {
+  auto it = outstanding_.find(p.wr_seq);
+  if (it == outstanding_.end()) return;  // duplicate/stale
+  Outstanding out = it->second;
+  outstanding_.erase(it);
+
+  QueuePair* q = qp(out.qpn);
+  assert(q != nullptr);
+  // A response to PSN n acknowledges every request up to n (the
+  // responder processes strictly in order).
+  cumulative_ack(q, p.psn);
+  auto status = static_cast<CqStatus>(p.status);
+
+  if (status == CqStatus::kSuccess) {
+    if (p.type == Packet::Type::kReadResp && !p.payload.empty()) {
+      mem_.write(out.land_addr, p.payload.data(), p.payload.size());
+      after_dma_write(out.land_addr, p.payload.size());
+    } else if (p.type == Packet::Type::kCasResp) {
+      assert(p.payload.size() == 8);
+      if (out.land_addr != 0) {
+        mem_.write(out.land_addr, p.payload.data(), 8);
+        after_dma_write(out.land_addr, 8);
+      }
+    }
+  }
+
+  if (out.signaled && q->send_cq != nullptr) {
+    Cqe c;
+    c.wr_id = out.wr_id;
+    c.qpn = out.qpn;
+    c.opcode = out.opcode;
+    c.status = status;
+    c.byte_len = out.byte_len;
+    q->send_cq->push(c);
+  }
+}
+
+// ------------------------------------------------------------ RC transport --
+
+bool Nic::psn_accept(Packet& p) {
+  QueuePair* dst = qp(p.dst_qpn);
+  if (dst == nullptr) return false;
+  if (p.psn == dst->expected_psn) {
+    ++dst->expected_psn;
+    return true;
+  }
+  if (p.psn < dst->expected_psn) {
+    // Duplicate (our response was lost, or the request was retransmitted
+    // while parked): replay the cached response if we already produced it.
+    ++counters_.duplicates_dropped;
+    auto it = dst->resp_cache.find(p.psn);
+    if (it != dst->resp_cache.end()) {
+      Packet resp = it->second;
+      ++counters_.packets_tx;
+      counters_.bytes_tx += resp.wire_bytes();
+      net_.transmit(std::move(resp));
+    }
+    return false;
+  }
+  // Ahead of sequence: an earlier packet was lost. Go-back-N drops it;
+  // the requester retransmits the whole window in order.
+  ++counters_.out_of_order_dropped;
+  return false;
+}
+
+void Nic::cache_response(QueuePair* qp, uint64_t psn, const Packet& resp) {
+  qp->resp_cache[psn] = resp;
+  // Bound the cache: anything older than 128 PSNs can no longer be
+  // legitimately retransmitted by a correct peer.
+  while (!qp->resp_cache.empty() &&
+         qp->resp_cache.begin()->first + 128 < qp->expected_psn) {
+    qp->resp_cache.erase(qp->resp_cache.begin());
+  }
+}
+
+void Nic::track_request(QueuePair* qp, const Packet& p) {
+  qp->unacked.emplace_back(loop_.now(), p);
+  if (qp->retry_timer == 0) arm_retry_timer(qp);
+}
+
+void Nic::arm_retry_timer(QueuePair* qp) {
+  qp->retry_timer = loop_.schedule_after(
+      cfg_.retransmit_timeout, [this, qpn = qp->qpn] { retry_fire(qpn); });
+}
+
+void Nic::retry_fire(uint32_t qpn) {
+  QueuePair* q = qp(qpn);
+  if (q == nullptr) return;
+  q->retry_timer = 0;
+  if (q->unacked.empty()) return;
+  const sim::Time stale_before = loop_.now() - cfg_.retransmit_timeout;
+  if (q->unacked.front().first <= stale_before) {
+    // Go-back-N: resend the whole unacknowledged window, in PSN order.
+    for (auto& [sent, pkt] : q->unacked) {
+      sent = loop_.now();
+      ++counters_.retransmits;
+      ++counters_.packets_tx;
+      counters_.bytes_tx += pkt.wire_bytes();
+      net_.transmit(pkt);
+    }
+  }
+  arm_retry_timer(q);
+}
+
+void Nic::cumulative_ack(QueuePair* q, uint64_t psn) {
+  while (!q->unacked.empty() && q->unacked.front().second.psn <= psn) {
+    q->unacked.pop_front();
+  }
+  if (q->unacked.empty() && q->retry_timer != 0) {
+    loop_.cancel(q->retry_timer);
+    q->retry_timer = 0;
+  }
+}
+
+// ------------------------------------------------------------ WAIT wiring --
+
+void Nic::after_dma_write(Addr addr, size_t len) {
+  // A DMA may have patched (and activated) pre-posted WQEs: re-kick any QP
+  // whose send-queue ring overlaps the written range.
+  for (auto& [qpn, q] : qps_) {
+    QueuePair* p = q.get();
+    if (p->engine_running || p->blocked_on_wait) continue;
+    if (addr < p->sq_end() && addr + len > p->sq_base) kick(p);
+  }
+}
+
+void Nic::block_on_cq(QueuePair* qp, uint32_t cq_id) {
+  auto& v = cq_waiters_[cq_id];
+  if (std::find(v.begin(), v.end(), qp->qpn) == v.end()) v.push_back(qp->qpn);
+}
+
+void Nic::on_cq_advance(uint32_t cq_id) {
+  auto it = cq_waiters_.find(cq_id);
+  if (it == cq_waiters_.end() || it->second.empty()) return;
+  std::vector<uint32_t> woken = std::move(it->second);
+  it->second.clear();
+  for (uint32_t qpn : woken) {
+    QueuePair* q = qp(qpn);
+    if (q != nullptr && q->blocked_on_wait) kick(q);
+  }
+}
+
+}  // namespace hyperloop::rdma

@@ -1,0 +1,216 @@
+// The simulated RDMA NIC.
+//
+// Executes send-queue WQEs per QP in order, with three HyperLoop-enabling
+// behaviours on top of ordinary verbs:
+//
+//   1. WAIT (CORE-Direct): a kWait WQE blocks its queue until a target CQ's
+//      monotonic completion counter reaches a threshold — no CPU involved.
+//   2. Deferred ownership: post_send(..., deferred=true) leaves the WQE's
+//      `active` byte clear; the engine stalls at it until a later DMA
+//      (typically an inbound RECV scatter) patches the descriptor and sets
+//      `active` — the paper's modified-libmlx4 behaviour.
+//   3. Durability: inbound 0-byte READs (gFLUSH) write the NIC's pending
+//      volatile writes back to the NVM durable domain before responding.
+//
+// Costs: every WQE charges engine time; packets charge per-byte DMA and
+// serialize on Network ports. No CPU scheduler interaction ever happens
+// here — that asymmetry versus the Naïve baseline is the paper's thesis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "rdma/completion_queue.h"
+#include "rdma/memory.h"
+#include "rdma/network.h"
+#include "rdma/queue_pair.h"
+#include "rdma/wqe.h"
+#include "sim/event_loop.h"
+
+namespace hyperloop::rdma {
+
+class Nic {
+ public:
+  struct Config {
+    uint32_t default_sq_slots = 512;
+    /// Engine occupancy per WQE (fetch + process + doorbell amortized).
+    sim::Duration wqe_cost = sim::nsec(200);
+    /// Fixed cost to receive/parse one inbound packet.
+    sim::Duration rx_base_cost = sim::nsec(150);
+    /// Host DMA cost per byte (gathers, scatters, local copies).
+    double dma_ns_per_byte = 0.05;
+    /// Extra cost for an atomic execute.
+    sim::Duration cas_cost = sim::nsec(250);
+    /// Cost to consume a satisfied WAIT.
+    sim::Duration wait_cost = sim::nsec(50);
+    /// RC retransmission timeout (go-back-N on loss).
+    sim::Duration retransmit_timeout = sim::usec(100);
+    /// On-NIC connection-context cache (§7: "the scalability of RDMA NICs
+    /// decreases with the number of active write-QPs"). Touching a QP
+    /// outside the `qp_cache_entries` most-recently-used contexts fetches
+    /// the context from host memory, costing `qp_cache_miss_cost`.
+    /// 0 disables the model (infinite cache).
+    uint32_t qp_cache_entries = 0;
+    sim::Duration qp_cache_miss_cost = sim::nsec(400);
+  };
+
+  struct Counters {
+    uint64_t wqes_executed = 0;
+    uint64_t packets_tx = 0;
+    uint64_t packets_rx = 0;
+    uint64_t bytes_tx = 0;
+    uint64_t flushes = 0;
+    uint64_t rnr_stalls = 0;
+    uint64_t remote_access_errors = 0;
+    uint64_t retransmits = 0;         ///< go-back-N resends
+    uint64_t duplicates_dropped = 0;  ///< stale PSN requests suppressed
+    uint64_t out_of_order_dropped = 0;
+    uint64_t qp_cache_misses = 0;
+    uint64_t qp_cache_hits = 0;
+  };
+
+  Nic(sim::EventLoop& loop, Network& net, HostMemory& mem,
+      nvm::NvmDevice* nvm, Config cfg);
+  Nic(sim::EventLoop& loop, Network& net, HostMemory& mem,
+      nvm::NvmDevice* nvm)
+      : Nic(loop, net, mem, nvm, Config()) {}
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  NicId id() const { return id_; }
+  HostMemory& memory() { return mem_; }
+  nvm::NvmDevice* nvm() { return nvm_; }
+  MrTable& mr_table() { return mrs_; }
+  const Counters& counters() const { return counters_; }
+  const Config& config() const { return cfg_; }
+
+  /// Registers [addr, addr+len) for the given access.
+  MemoryRegion register_mr(Addr addr, uint64_t len, uint32_t access) {
+    return mrs_.register_mr(addr, len, access);
+  }
+
+  CompletionQueue* create_cq(size_t capacity = 4096);
+
+  /// Creates a QP whose send queue (sq_slots WQE slots) is carved from
+  /// host memory. The ring is *not* registered for remote access here;
+  /// HyperLoop group setup registers it explicitly (that registration is
+  /// the paper's security-sensitive step).
+  QueuePair* create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                       uint32_t sq_slots = 0);
+
+  /// Creates a self-targeting QP for local DMA (gCAS/gMEMCPY executor).
+  QueuePair* create_loopback_qp(CompletionQueue* send_cq,
+                                uint32_t sq_slots = 0);
+
+  /// Connects a QP to a remote NIC/QP (reliable connection).
+  void connect(QueuePair* qp, NicId remote_nic, uint32_t remote_qpn);
+
+  /// Posts a send WQE. With `deferred_ownership` the WQE is written with
+  /// active=0 and the engine will stall at it until a DMA patch (or
+  /// grant_ownership) activates it. Returns the WQE's slot sequence.
+  uint64_t post_send(QueuePair* qp, Wqe wqe, bool deferred_ownership = false);
+
+  /// Activates a previously deferred WQE (local driver path).
+  void grant_ownership(QueuePair* qp, uint64_t slot_seq);
+
+  /// Posts a receive WQE.
+  void post_recv(QueuePair* qp, RecvWqe wqe);
+
+  /// Creates a shared receive queue.
+  SharedReceiveQueue* create_srq();
+
+  /// Attaches a QP to an SRQ: its inbound SEND/WRITE_IMM traffic consumes
+  /// SRQ WQEs instead of per-QP RECVs.
+  void attach_srq(QueuePair* qp, SharedReceiveQueue* srq);
+
+  /// Posts a receive WQE to an SRQ (re-plays any receiver-not-ready
+  /// packet parked on an attached QP).
+  void post_srq_recv(SharedReceiveQueue* srq, RecvWqe wqe);
+
+  QueuePair* qp(uint32_t qpn);
+  CompletionQueue* cq(uint32_t id);
+
+ private:
+  struct Outstanding {
+    uint32_t qpn = 0;
+    uint64_t wr_id = 0;
+    uint8_t opcode = 0;
+    uint8_t signaled = 1;
+    uint32_t byte_len = 0;
+    Addr land_addr = 0;  ///< READ/CAS: where the response lands
+  };
+
+  // --- send-side engine ---
+  void kick(QueuePair* qp);
+  void engine_step(QueuePair* qp);
+  void execute(QueuePair* qp, const Wqe& w);
+  void execute_local(QueuePair* qp, const Wqe& w);
+  void execute_remote(QueuePair* qp, const Wqe& w);
+  sim::Duration dma_cost(size_t bytes) const;
+  void local_completion(QueuePair* qp, const Wqe& w, CqStatus status,
+                        uint32_t bytes);
+
+  // --- receive side ---
+  void on_packet(Packet p);
+  void handle_packet(Packet p);
+  void responder_send(Packet& p, QueuePair* dst);
+  void responder_write(Packet& p);
+  void responder_read(Packet& p);
+  void responder_cas(Packet& p);
+  void requester_response(Packet& p);
+  void send_response(const Packet& req, Packet::Type type,
+                     std::vector<uint8_t> payload, uint8_t status);
+
+  // Wakes queues stalled at an inactive head WQE whose slot bytes were
+  // just written by a DMA.
+  void after_dma_write(Addr addr, size_t len);
+
+  // Returns the context-fetch cost for touching `qpn` (0 on a cache hit)
+  // and promotes it to most-recently-used.
+  sim::Duration qp_context_touch(uint32_t qpn);
+
+  // --- RC transport ---
+  // Records the outgoing request for retransmission and arms the timer.
+  void track_request(QueuePair* qp, const Packet& p);
+  void arm_retry_timer(QueuePair* qp);
+  void retry_fire(uint32_t qpn);
+  // Acknowledges all tracked requests with PSN <= psn.
+  void cumulative_ack(QueuePair* qp, uint64_t psn);
+  // Responder-side PSN gate; returns true if the packet should be
+  // processed (in order), false if it was handled as dup/out-of-order.
+  bool psn_accept(Packet& p);
+  void cache_response(QueuePair* qp, uint64_t psn, const Packet& resp);
+
+  // WAIT bookkeeping: qpns blocked per CQ id.
+  void block_on_cq(QueuePair* qp, uint32_t cq_id);
+  void on_cq_advance(uint32_t cq_id);
+
+  sim::EventLoop& loop_;
+  Network& net_;
+  HostMemory& mem_;
+  nvm::NvmDevice* nvm_;
+  Config cfg_;
+  NicId id_;
+  MrTable mrs_;
+  Counters counters_;
+
+  uint32_t next_qpn_ = 1;
+  uint32_t next_cqn_ = 1;
+  uint64_t next_wr_seq_ = 1;
+  sim::Time rx_busy_until_ = 0;
+
+  std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;
+  std::unordered_map<uint32_t, std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
+  std::unordered_map<SharedReceiveQueue*, std::vector<QueuePair*>>
+      srq_members_;
+  std::unordered_map<uint64_t, Outstanding> outstanding_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> cq_waiters_;
+  std::vector<uint32_t> qp_cache_mru_;  ///< front = most recently used
+};
+
+}  // namespace hyperloop::rdma

@@ -1,0 +1,86 @@
+// Queue pair state.
+//
+// The send queue is a ring of `Wqe` slots that lives in registered host
+// memory (allocated from HostMemory at creation), so remote NICs can patch
+// descriptors via DMA — the enabling mechanism for HyperLoop's remote
+// work-request manipulation. Receive WQEs are NIC-side (only send queues
+// need to be remotely writable).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "rdma/completion_queue.h"
+#include "rdma/packet.h"
+#include "rdma/wqe.h"
+#include "sim/event_loop.h"
+
+namespace hyperloop::rdma {
+
+class Nic;
+
+/// A shared receive queue (§5: "multiple clients can be supported using
+/// shared receive queues on the first replica"): several QPs draw RECV
+/// WQEs from one pool, so a replica can serve many upstream clients with
+/// a single pre-posted ring.
+struct SharedReceiveQueue {
+  uint32_t srqn = 0;
+  std::deque<RecvWqe> queue;
+};
+
+/// A reliable-connected (or loopback) queue pair. Created and owned by a
+/// Nic; treat fields as read-only outside rdma internals.
+struct QueuePair {
+  uint32_t qpn = 0;
+  Nic* nic = nullptr;
+
+  bool connected = false;
+  bool loopback = false;  ///< local-DMA QP (gCAS/gMEMCPY executor)
+  NicId remote_nic = 0;
+  uint32_t remote_qpn = 0;
+
+  /// Send-queue ring: `sq_slots` Wqe-sized slots starting at sq_base in
+  /// host memory. Slot for sequence s is sq_base + (s % sq_slots)*sizeof(Wqe).
+  Addr sq_base = 0;
+  uint32_t sq_slots = 0;
+  uint64_t sq_head = 0;  ///< next WQE sequence the engine will examine
+  uint64_t sq_tail = 0;  ///< next WQE sequence to be posted
+
+  CompletionQueue* send_cq = nullptr;
+  CompletionQueue* recv_cq = nullptr;
+
+  std::deque<RecvWqe> recv_queue;
+  /// When set, inbound SEND/WRITE_IMM consume from the SRQ instead of
+  /// recv_queue.
+  SharedReceiveQueue* srq = nullptr;
+  /// Inbound SEND/WRITE_IMM packets that arrived before a RECV was posted
+  /// (receiver-not-ready; replayed on the next post_recv).
+  std::deque<Packet> stalled_inbound;
+
+  bool engine_running = false;
+  bool blocked_on_wait = false;
+
+  // --- RC transport state ---
+  uint64_t next_psn = 0;      ///< requester: next request PSN to assign
+  uint64_t expected_psn = 0;  ///< responder: next PSN accepted in order
+  /// Requester: transmitted-but-unacknowledged requests (with send time),
+  /// PSN order, for go-back-N retransmission.
+  std::deque<std::pair<sim::Time, Packet>> unacked;
+  sim::EventId retry_timer = 0;
+  /// Responder: recent responses keyed by request PSN, replayed when a
+  /// duplicate request arrives (lost-response recovery).
+  std::map<uint64_t, Packet> resp_cache;
+
+  /// Address of the slot holding WQE sequence `seq`.
+  Addr slot_addr(uint64_t seq) const {
+    return sq_base + (seq % sq_slots) * sizeof(Wqe);
+  }
+  /// End of the send-queue ring region.
+  Addr sq_end() const { return sq_base + uint64_t{sq_slots} * sizeof(Wqe); }
+
+  /// Posted-but-unconsumed send WQEs.
+  uint64_t sq_depth() const { return sq_tail - sq_head; }
+};
+
+}  // namespace hyperloop::rdma

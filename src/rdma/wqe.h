@@ -1,0 +1,99 @@
+// Work-queue element definitions.
+//
+// The crucial design point (paper §4.1, "remote work request manipulation"):
+// send-queue WQEs live *inside registered host memory*, and the patchable
+// fields are grouped in a contiguous, trivially-copyable `WqeDescriptor` at
+// the start of the WQE. A replica's pre-posted RECV scatters inbound
+// metadata bytes directly onto these descriptors, simultaneously rewriting
+// address/length/opcode *and* setting the `active` (ownership) byte — the
+// paper's modified-libmlx4 deferred-ownership scheme. The gCAS execute map
+// is realized by patching `opcode` to kCas or kNop per replica.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/memory.h"
+
+namespace hyperloop::rdma {
+
+/// Operation codes for send-queue WQEs.
+enum class Opcode : uint8_t {
+  kNop = 0,       ///< completes locally with no effect (gCAS execute-map "skip")
+  kWrite = 1,     ///< RDMA WRITE local->remote
+  kWriteImm = 2,  ///< RDMA WRITE with immediate (consumes a remote RECV)
+  kSend = 3,      ///< two-sided SEND (consumes a remote RECV, scatters payload)
+  kRead = 4,      ///< RDMA READ remote->local (length 0 == durability flush)
+  kFlush = 5,     ///< gFLUSH: sugar for a 0-byte READ with flush semantics
+  kCas = 6,       ///< 8-byte compare-and-swap at remote_addr
+  kLocalCopy = 7, ///< NIC DMA copy within the local host (gMEMCPY executor)
+  kWait = 8,      ///< CORE-Direct WAIT: block queue until CQ count reached
+};
+
+const char* opcode_name(Opcode op);
+
+/// The remotely patchable part of a WQE. Contiguous and trivially
+/// copyable so a RECV scatter entry can overwrite it byte-for-byte.
+struct WqeDescriptor {
+  Addr local_addr = 0;   ///< gather source / READ & CAS result destination / copy src
+  Addr remote_addr = 0;  ///< write/read/CAS target / copy destination
+  Addr aux_addr = 0;     ///< optional second gather segment (gCAS result map)
+  uint64_t compare = 0;  ///< CAS expected value
+  uint64_t swap = 0;     ///< CAS replacement value
+  uint32_t length = 0;   ///< bytes for the primary segment
+  uint32_t aux_length = 0;  ///< bytes for the second gather segment
+  uint32_t rkey = 0;     ///< remote key for remote_addr
+  uint32_t lkey = 0;     ///< local key for local_addr
+  uint32_t imm = 0;      ///< immediate data (kWriteImm)
+  uint8_t opcode = 0;    ///< Opcode, as a byte so patches stay POD
+  uint8_t active = 1;    ///< ownership: 0 = driver holds, 1 = NIC may execute
+  uint16_t pad = 0;
+};
+static_assert(sizeof(WqeDescriptor) == 64, "descriptor layout is part of the wire format");
+
+/// A full send-queue WQE: patchable descriptor + fixed control fields.
+struct Wqe {
+  WqeDescriptor d{};
+  uint64_t wr_id = 0;
+  /// kWait only: the completion counter to watch...
+  uint32_t wait_cq = 0;
+  /// ...and the absolute completion count that un-blocks the queue.
+  uint64_t wait_threshold = 0;
+  /// Whether completion posts a CQE (all completions bump the CQ's
+  /// monotonic counter regardless, which is what WAIT observes).
+  uint8_t signaled = 1;
+  uint8_t pad[7] = {};
+};
+static_assert(sizeof(Wqe) % 8 == 0);
+
+/// Scatter/gather element for RECVs.
+struct Sge {
+  Addr addr = 0;
+  uint32_t length = 0;
+  uint32_t lkey = 0;
+};
+
+/// A receive WQE: inbound SEND payload is scattered across `sges` in
+/// order. Held NIC-side (the paper only requires *send* queues to be
+/// remotely writable).
+struct RecvWqe {
+  uint64_t wr_id = 0;
+  std::vector<Sge> sges;
+};
+
+/// Helpers for building common WQEs.
+Wqe make_write(Addr local, uint32_t lkey, Addr remote, uint32_t rkey,
+               uint32_t len, uint64_t wr_id = 0);
+Wqe make_write_imm(Addr local, uint32_t lkey, Addr remote, uint32_t rkey,
+                   uint32_t len, uint32_t imm, uint64_t wr_id = 0);
+Wqe make_send(Addr local, uint32_t lkey, uint32_t len, uint64_t wr_id = 0);
+Wqe make_read(Addr local, uint32_t lkey, Addr remote, uint32_t rkey,
+              uint32_t len, uint64_t wr_id = 0);
+Wqe make_flush(Addr remote, uint32_t rkey, uint64_t wr_id = 0);
+Wqe make_cas(Addr result, uint32_t lkey, Addr remote, uint32_t rkey,
+             uint64_t compare, uint64_t swap, uint64_t wr_id = 0);
+Wqe make_local_copy(Addr src, Addr dst, uint32_t len, uint64_t wr_id = 0);
+Wqe make_wait(uint32_t cq_id, uint64_t threshold, uint64_t wr_id = 0);
+Wqe make_nop(uint64_t wr_id = 0);
+
+}  // namespace hyperloop::rdma

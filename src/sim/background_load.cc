@@ -1,0 +1,64 @@
+#include "sim/background_load.h"
+
+#include <string>
+
+namespace hyperloop::sim {
+
+BackgroundLoad::BackgroundLoad(EventLoop& loop, CpuScheduler& sched,
+                               Config cfg, Rng rng)
+    : loop_(loop),
+      sched_(sched),
+      cfg_(cfg),
+      rng_(rng),
+      burst_(static_cast<double>(cfg.median_burst), cfg.burst_sigma),
+      think_(static_cast<double>(cfg.mean_think)) {}
+
+void BackgroundLoad::start() {
+  if (running_) return;
+  running_ = true;
+  for (int i = 0; i < cfg_.tenants; ++i) {
+    const ProcessId pid =
+        sched_.create_process("tenant-" + std::to_string(i));
+    pids_.push_back(pid);
+    // Stagger initial arrivals so tenants do not move in lockstep.
+    loop_.schedule_after(think_.sample(rng_), [this, pid] { tenant_loop(pid); });
+  }
+}
+
+void BackgroundLoad::tenant_loop(ProcessId pid) {
+  if (!running_) return;
+  const int fanout =
+      1 + static_cast<int>(rng_.next_below(
+              static_cast<uint64_t>(cfg_.fanout > 0 ? cfg_.fanout : 1)));
+  // Submit `fanout` parallel chains; the tenant thinks again once all
+  // chains have drained.
+  auto outstanding = std::make_shared<int>(fanout);
+  for (int f = 0; f < fanout; ++f) {
+    const int batch = 1 + static_cast<int>(rng_.next_below(
+                              static_cast<uint64_t>(
+                                  cfg_.max_batch > 0 ? cfg_.max_batch : 1)));
+    run_batch(pid, batch, outstanding);
+  }
+}
+
+void BackgroundLoad::run_batch(ProcessId pid, int remaining,
+                               std::shared_ptr<int> outstanding) {
+  if (!running_) return;
+  const Duration burst = burst_.sample(rng_);
+  sched_.submit(
+      pid, burst,
+      [this, pid, remaining, outstanding] {
+        if (!running_) return;
+        if (remaining > 1) {
+          run_batch(pid, remaining - 1, outstanding);
+          return;
+        }
+        if (--*outstanding == 0) {
+          loop_.schedule_after(think_.sample(rng_),
+                               [this, pid] { tenant_loop(pid); });
+        }
+      },
+      /*fresh_wakeup=*/remaining == 1);
+}
+
+}  // namespace hyperloop::sim

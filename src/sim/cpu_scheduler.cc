@@ -1,0 +1,160 @@
+#include "sim/cpu_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hyperloop::sim {
+
+CpuScheduler::CpuScheduler(EventLoop& loop, Config cfg)
+    : loop_(loop), cfg_(cfg) {
+  assert(cfg_.num_cores > 0);
+  cores_.resize(static_cast<size_t>(cfg_.num_cores));
+}
+
+ProcessId CpuScheduler::create_process(std::string name) {
+  const auto pid = static_cast<ProcessId>(procs_.size());
+  procs_.push_back(ProcessStats{std::move(name)});
+  pinned_.push_back(PinnedState{});
+  return pid;
+}
+
+void CpuScheduler::submit(ProcessId pid, Duration service,
+                          std::function<void()> done, bool fresh_wakeup) {
+  assert(pid < procs_.size());
+  if (service < 0) service = 0;
+  Task task{pid, service, std::move(done)};
+  if (pinned_[pid].core >= 0) {
+    pinned_[pid].queue.push_back(std::move(task));
+    pinned_kick(pid);
+    return;
+  }
+  if (!fresh_wakeup) {
+    enqueue_runnable(std::move(task));
+    return;
+  }
+  // Event-driven path: wakeup overhead before the task is runnable.
+  loop_.schedule_after(cfg_.wakeup_overhead, [this, t = std::move(task)]() mutable {
+    enqueue_runnable(std::move(t));
+  });
+}
+
+void CpuScheduler::enqueue_runnable(Task task) {
+  run_queue_.push_back(std::move(task));
+  dispatch();
+}
+
+bool CpuScheduler::pin_core(ProcessId pid) {
+  assert(pid < procs_.size());
+  if (pinned_[pid].core >= 0) return true;
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    Core& c = cores_[i];
+    if (!c.pinned && !c.busy) {
+      c.pinned = true;
+      c.pinned_pid = pid;
+      c.pinned_since = loop_.now();
+      pinned_[pid].core = static_cast<int>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+int CpuScheduler::shared_cores() const {
+  int n = 0;
+  for (const Core& c : cores_) n += c.pinned ? 0 : 1;
+  return n;
+}
+
+Duration CpuScheduler::total_busy() const {
+  Duration sum = 0;
+  for (const Core& c : cores_) {
+    sum += c.busy_ns;
+    if (c.pinned) sum += loop_.now() - c.pinned_since;
+  }
+  return sum;
+}
+
+double CpuScheduler::utilization() const {
+  if (loop_.now() == 0) return 0.0;
+  return static_cast<double>(total_busy()) /
+         (static_cast<double>(loop_.now()) * cfg_.num_cores);
+}
+
+void CpuScheduler::dispatch() {
+  while (!run_queue_.empty()) {
+    int idle = -1;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      if (!cores_[i].pinned && !cores_[i].busy) {
+        idle = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idle < 0) return;
+    Task task = std::move(run_queue_.front());
+    run_queue_.pop_front();
+    run_slice(idle, std::move(task));
+  }
+}
+
+void CpuScheduler::run_slice(int core_idx, Task task) {
+  Core& core = cores_[static_cast<size_t>(core_idx)];
+  core.busy = true;
+
+  Duration switch_cost = 0;
+  if (core.last_pid != task.pid) {
+    switch_cost = cfg_.context_switch_cost;
+    core.last_pid = task.pid;
+    ++procs_[task.pid].context_switches;
+    ++total_switches_;
+  }
+
+  const Duration slice = std::min(task.remaining, cfg_.timeslice);
+  const Duration occupied = switch_cost + slice;
+  core.busy_ns += occupied;
+  procs_[task.pid].cpu_time += slice;
+
+  loop_.schedule_after(
+      occupied, [this, core_idx, t = std::move(task), slice]() mutable {
+        Core& c = cores_[static_cast<size_t>(core_idx)];
+        c.busy = false;
+        t.remaining -= slice;
+        if (t.remaining <= 0) {
+          ++procs_[t.pid].bursts_completed;
+          auto done = std::move(t.done);
+          dispatch();
+          if (done) done();
+        } else {
+          // Preempted: back of the queue (round-robin).
+          run_queue_.push_back(std::move(t));
+          dispatch();
+        }
+      });
+}
+
+void CpuScheduler::pinned_kick(ProcessId pid) {
+  PinnedState& ps = pinned_[pid];
+  if (ps.running || ps.queue.empty()) return;
+  ps.running = true;
+  // The poller notices new work after ~poll_interval.
+  loop_.schedule_after(cfg_.poll_interval, [this, pid] { pinned_run_next(pid); });
+}
+
+void CpuScheduler::pinned_run_next(ProcessId pid) {
+  PinnedState& ps = pinned_[pid];
+  if (ps.queue.empty()) {
+    ps.running = false;
+    return;
+  }
+  Task task = std::move(ps.queue.front());
+  ps.queue.pop_front();
+  const Duration service = task.remaining;
+  procs_[pid].cpu_time += service;
+  loop_.schedule_after(service, [this, pid, t = std::move(task)]() mutable {
+    ++procs_[pid].bursts_completed;
+    if (t.done) t.done();
+    pinned_run_next(pid);
+  });
+}
+
+}  // namespace hyperloop::sim

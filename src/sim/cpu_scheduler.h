@@ -1,0 +1,137 @@
+// Multi-tenant CPU model.
+//
+// This module is the root-cause machinery behind every tail-latency result
+// in the paper (§2.2): replica processes must *acquire a core* before they
+// can handle a network completion, and on a server packed with hundreds of
+// tenant processes that means run-queue waiting plus context-switch cost.
+// HyperLoop's NIC data path never enters this scheduler — that asymmetry
+// is the effect the benchmarks reproduce.
+//
+// The model: a server has N cores running a preemptive round-robin
+// scheduler with a fixed timeslice and a per-switch cost. Work arrives as
+// "bursts" (CPU service demands) submitted on behalf of a process; a burst
+// completes after receiving its full service time. A process may instead
+// pin a dedicated core and busy-poll, in which case its bursts bypass the
+// shared run queue entirely (at the price of burning the core) — this is
+// the paper's Naïve-Polling configuration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace hyperloop::sim {
+
+/// Identifies a process registered with a CpuScheduler.
+using ProcessId = uint32_t;
+
+/// Per-process accounting, exposed for the context-switch plots (Fig 2).
+struct ProcessStats {
+  std::string name;
+  Duration cpu_time = 0;          ///< total service time received
+  uint64_t bursts_completed = 0;  ///< completed CPU bursts
+  uint64_t context_switches = 0;  ///< times this process was switched onto a core
+};
+
+/// A preemptive round-robin multi-core scheduler on simulated time.
+class CpuScheduler {
+ public:
+  struct Config {
+    int num_cores = 16;
+    /// Direct + indirect (cache pollution) cost charged when a core
+    /// switches to a different process.
+    Duration context_switch_cost = usec(5);
+    /// Round-robin quantum; bursts longer than this are preempted.
+    Duration timeslice = msec(1);
+    /// Event-driven wakeup overhead (interrupt + syscall return) added
+    /// before a burst becomes runnable.
+    Duration wakeup_overhead = usec(3);
+    /// Mean delay before a pinned busy-polling process notices new work.
+    Duration poll_interval = nsec(200);
+  };
+
+  CpuScheduler(EventLoop& loop, Config cfg);
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Registers a process; the returned id is used for all submissions.
+  ProcessId create_process(std::string name);
+
+  /// Submits a CPU burst for `pid`: after queueing + `service` time on a
+  /// core, `done` fires. Bursts of one process execute in submission order.
+  /// `fresh_wakeup=false` models a process continuing pending work rather
+  /// than being woken by an event: the wakeup overhead is skipped (the
+  /// burst still queues for a core, i.e. it may be preempted in between).
+  void submit(ProcessId pid, Duration service, std::function<void()> done,
+              bool fresh_wakeup = true);
+
+  /// Convenience: burst with no completion action.
+  void submit(ProcessId pid, Duration service) { submit(pid, service, {}); }
+
+  /// Dedicates one core to `pid` (core pinning + busy polling). Subsequent
+  /// bursts for `pid` run on that core after ~poll_interval, with no
+  /// run-queue wait. Returns false if all cores are already pinned.
+  bool pin_core(ProcessId pid);
+
+  /// Number of cores not dedicated to pinned pollers.
+  int shared_cores() const;
+
+  /// Tasks currently waiting for a shared core.
+  size_t run_queue_length() const { return run_queue_.size(); }
+
+  /// Cumulative busy nanoseconds across all cores (including switch cost
+  /// and pinned/polling cores, which are always busy from pin time on).
+  Duration total_busy() const;
+
+  /// Busy fraction across all cores since simulation start.
+  double utilization() const;
+
+  /// Total context switches across all processes.
+  uint64_t total_context_switches() const { return total_switches_; }
+
+  const ProcessStats& stats(ProcessId pid) const { return procs_[pid]; }
+  int num_cores() const { return cfg_.num_cores; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Task {
+    ProcessId pid;
+    Duration remaining;
+    std::function<void()> done;
+  };
+  struct Core {
+    bool pinned = false;
+    ProcessId pinned_pid = 0;
+    bool busy = false;
+    // Last process that ran here; switch cost applies when it changes.
+    ProcessId last_pid = UINT32_MAX;
+    Duration busy_ns = 0;   // accumulated busy time
+    Time pinned_since = 0;  // for pinned cores: busy ever since
+  };
+  struct PinnedState {
+    int core = -1;
+    bool running = false;
+    std::deque<Task> queue;
+  };
+
+  void enqueue_runnable(Task task);
+  void dispatch();
+  void run_slice(int core_idx, Task task);
+  void pinned_kick(ProcessId pid);
+  void pinned_run_next(ProcessId pid);
+
+  EventLoop& loop_;
+  Config cfg_;
+  std::vector<Core> cores_;
+  std::vector<ProcessStats> procs_;
+  std::vector<PinnedState> pinned_;  // indexed by pid; core==-1 if unpinned
+  std::deque<Task> run_queue_;
+  uint64_t total_switches_ = 0;
+};
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,78 @@
+#include "sim/distributions.h"
+
+#include <cmath>
+
+namespace hyperloop::sim {
+
+Duration Exponential::sample(Rng& rng) const {
+  // Inverse CDF; 1 - u avoids log(0).
+  const double u = 1.0 - rng.next_double();
+  const double v = -mean_ * std::log(u);
+  return static_cast<Duration>(v);
+}
+
+Duration LogNormal::sample(Rng& rng) const {
+  // Box-Muller for a standard normal draw.
+  const double u1 = 1.0 - rng.next_double();
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double v = mu_log_ * std::exp(sigma_ * z);
+  return static_cast<Duration>(v);
+}
+
+double ZipfianGenerator::zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = zeta(n, theta);
+  zeta2theta_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+uint64_t ScrambledZipfian::fnv_hash(uint64_t v) {
+  // FNV-1a on the 8 bytes of v, as in YCSB's Utils.fnvhash64.
+  const uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
+uint64_t ScrambledZipfian::sample(Rng& rng) const {
+  return fnv_hash(zipf_.sample(rng)) % n_;
+}
+
+uint64_t LatestGenerator::sample(Rng& rng, uint64_t current_count) {
+  // YCSB's SkewedLatestGenerator: zipfian over the current count, mirrored
+  // so rank 0 maps to the newest item. Rebuild the zipfian only when the
+  // population has grown noticeably (>= 5%) to avoid O(n) work per draw.
+  if (!zipf_ || current_count > cached_n_ + cached_n_ / 20 ||
+      current_count < cached_n_) {
+    cached_n_ = current_count;
+    zipf_ = std::make_unique<ZipfianGenerator>(current_count, theta_);
+  }
+  uint64_t off = zipf_->sample(rng);
+  if (off >= current_count) off = current_count - 1;
+  return current_count - 1 - off;
+}
+
+}  // namespace hyperloop::sim

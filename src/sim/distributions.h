@@ -1,0 +1,100 @@
+// Random-variate distributions used by workload generators and the
+// latency/CPU models. All distributions draw from the caller-supplied
+// deterministic `Rng`.
+//
+// ZipfianGenerator / ScrambledZipfian / Latest follow the YCSB reference
+// implementation (Gray et al. quick-zipf algorithm) so that our YCSB
+// workloads select keys with the same skew as the paper's benchmark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hyperloop::sim {
+
+/// Exponential inter-arrival / service times with the given mean.
+class Exponential {
+ public:
+  explicit Exponential(double mean_ns) : mean_(mean_ns) {}
+  Duration sample(Rng& rng) const;
+
+ private:
+  double mean_;
+};
+
+/// Log-normal distribution parameterized by the median and sigma of the
+/// underlying normal. Used for CPU service-time jitter: heavy right tail,
+/// never negative.
+class LogNormal {
+ public:
+  LogNormal(double median_ns, double sigma) : mu_log_(median_ns), sigma_(sigma) {}
+  Duration sample(Rng& rng) const;
+
+ private:
+  double mu_log_;  // median of the log-normal (exp(mu))
+  double sigma_;
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (YCSB default
+/// 0.99), using the Gray et al. rejection-free method.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Samples an item in [0, n). Item 0 is the most popular.
+  uint64_t sample(Rng& rng) const;
+
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Zipfian with popularity scattered over the key space by a hash, as in
+/// YCSB's ScrambledZipfianGenerator: hot keys are spread out rather than
+/// clustered at low indices.
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(uint64_t n, double theta = 0.99)
+      : zipf_(n, theta), n_(n) {}
+
+  uint64_t sample(Rng& rng) const;
+
+ private:
+  static uint64_t fnv_hash(uint64_t v);
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+/// YCSB "latest" distribution: recency-skewed choice over [0, current_max);
+/// most recently inserted items are most popular (workload D).
+///
+/// The internal zipfian is rebuilt lazily when the item count grows past
+/// the cached size (YCSB uses incremental zeta updates; rebuilding on
+/// growth thresholds gives the same skew without per-draw O(n) work).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(double theta = 0.99) : theta_(theta) {}
+
+  /// Samples an item in [0, current_count), skewed toward
+  /// current_count - 1. Requires current_count >= 1.
+  uint64_t sample(Rng& rng, uint64_t current_count);
+
+ private:
+  double theta_;
+  uint64_t cached_n_ = 0;
+  // Lazily (re)built zipfian over [0, cached_n_).
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,71 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace hyperloop::sim {
+
+EventId EventLoop::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+bool EventLoop::cancel(EventId id) { return live_.erase(id) > 0; }
+
+bool EventLoop::pop_next(Entry* out) {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (live_.count(e.id) != 0) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t EventLoop::run() {
+  stopped_ = false;
+  uint64_t n = 0;
+  Entry e;
+  while (!stopped_ && pop_next(&e)) {
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    auto fn = std::move(it->second);
+    live_.erase(it);
+    fn();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+uint64_t EventLoop::run_until(Time deadline) {
+  stopped_ = false;
+  uint64_t n = 0;
+  Entry e;
+  while (!stopped_ && pop_next(&e)) {
+    if (e.time > deadline) {
+      // Not yet due: put it back and stop.
+      heap_.push(e);
+      break;
+    }
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    auto fn = std::move(it->second);
+    live_.erase(it);
+    fn();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation core.
+//
+// The event loop is the heartbeat of the whole reproduction: NICs, links,
+// CPU schedulers, storage engines and benchmark drivers all advance by
+// scheduling closures at future simulated instants. Determinism is
+// guaranteed by (a) a single-threaded loop and (b) FIFO tie-breaking among
+// events scheduled for the same instant (via a monotonically increasing
+// sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hyperloop::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+using EventId = uint64_t;
+
+/// A single-threaded, deterministic discrete-event loop.
+///
+/// Events are closures ordered by (time, insertion sequence). `run()`
+/// drains the queue; `run_until()` stops the clock at a given instant,
+/// leaving later events pending. Cancellation is lazy: cancelled events
+/// stay in the heap but are skipped when popped.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `t`.
+  /// Scheduling in the past is clamped to `now()` (fires "immediately",
+  /// after already-pending events at `now()`).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had
+  /// not yet fired; false otherwise (already fired or already cancelled).
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty or `stop()` is called.
+  /// Returns the number of events executed.
+  uint64_t run();
+
+  /// Runs events with time <= `deadline`, then sets now() == deadline.
+  /// Returns the number of events executed.
+  uint64_t run_until(Time deadline);
+
+  /// Runs events for `span` nanoseconds of simulated time from now().
+  uint64_t run_for(Duration span) { return run_until(now_ + span); }
+
+  /// Requests that `run()`/`run_until()` return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of live (not cancelled) pending events.
+  size_t pending() const { return live_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    uint64_t seq;
+    EventId id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops heap entries until a live one is found. Returns false when the
+  // heap holds only cancelled entries (or nothing).
+  bool pop_next(Entry* out);
+
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  // id -> closure; erased on cancel so stale heap entries are skipped.
+  std::unordered_map<EventId, std::function<void()>> live_;
+};
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-identical across standard
+// library implementations, which keeps experiment outputs reproducible
+// on any toolchain.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperloop::sim {
+
+/// A small, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's method. bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Forks an independent, deterministic child stream. Useful for giving
+  /// each simulated component its own stream so adding a component does
+  /// not perturb the draws seen by others.
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hyperloop::sim

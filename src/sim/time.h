@@ -1,0 +1,34 @@
+// Simulated-time primitives for the discrete-event simulator.
+//
+// All simulated durations and timestamps are expressed in integer
+// nanoseconds. Helper constructors (`usec`, `msec`, ...) keep call sites
+// readable without introducing a heavyweight unit type; determinism and
+// overflow-free arithmetic matter more here than dimensional safety.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperloop::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = int64_t;
+
+constexpr Duration nsec(int64_t n) { return n; }
+constexpr Duration usec(int64_t n) { return n * 1000; }
+constexpr Duration msec(int64_t n) { return n * 1000 * 1000; }
+constexpr Duration seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+/// Converts a simulated duration to floating-point microseconds (for
+/// reporting only; never used in simulation arithmetic).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a simulated duration to floating-point milliseconds.
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a simulated duration to floating-point seconds.
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,108 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace hyperloop::stats {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_buckets_(int64_t{1} << sub_bucket_bits) {
+  assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+}
+
+size_t Histogram::bucket_index(int64_t value) const {
+  if (value < sub_buckets_) return static_cast<size_t>(value);
+  const int k = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int shift = k - sub_bucket_bits_;
+  const int64_t sub = (value >> shift) - sub_buckets_;  // in [0, sub_buckets_)
+  return static_cast<size_t>(sub_buckets_ + int64_t{shift} * sub_buckets_ + sub);
+}
+
+int64_t Histogram::bucket_value(size_t index) const {
+  const auto i = static_cast<int64_t>(index);
+  if (i < sub_buckets_) return i;
+  const int64_t shift = (i - sub_buckets_) / sub_buckets_;
+  const int64_t sub = (i - sub_buckets_) % sub_buckets_;
+  const int64_t low = (sub + sub_buckets_) << shift;
+  const int64_t width = int64_t{1} << shift;
+  return low + width / 2;
+}
+
+void Histogram::record(int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<int64_t>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(sub_bucket_bits_ == other.sub_bucket_bits_);
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile, 1-based, ceil semantics.
+  const auto target = static_cast<uint64_t>(
+      std::max<double>(1.0, p / 100.0 * static_cast<double>(count_)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      // Clamp the representative value into the observed range so p0/p100
+      // return the true min/max rather than bucket midpoints.
+      return std::clamp(bucket_value(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::summary_us() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "avg=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
+                mean() / 1e3, percentile(50) / 1e3, percentile(95) / 1e3,
+                percentile(99) / 1e3, static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+}  // namespace hyperloop::stats

@@ -1,0 +1,33 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+namespace hyperloop::stats {
+
+void Table::print(FILE* out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fprintf(out, "|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  std::fprintf(out, "|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::fprintf(out, "-");
+    std::fprintf(out, "|");
+  }
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hyperloop::stats

@@ -1,0 +1,35 @@
+// Minimal fixed-width ASCII table printer for benchmark harnesses, so each
+// bench binary emits rows shaped like the paper's figures/tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hyperloop::stats {
+
+/// Collects rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+  }
+
+  void print(FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyperloop::stats

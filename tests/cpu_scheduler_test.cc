@@ -1,0 +1,213 @@
+#include "sim/cpu_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/background_load.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace hyperloop::sim {
+namespace {
+
+CpuScheduler::Config basic(int cores) {
+  CpuScheduler::Config c;
+  c.num_cores = cores;
+  c.context_switch_cost = usec(5);
+  c.timeslice = msec(1);
+  c.wakeup_overhead = usec(3);
+  c.poll_interval = nsec(200);
+  return c;
+}
+
+TEST(CpuScheduler, SingleTaskLatency) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(1));
+  const ProcessId p = s.create_process("p");
+  Time done_at = -1;
+  s.submit(p, usec(10), [&] { done_at = loop.now(); });
+  loop.run();
+  // wakeup(3) + context switch(5) + service(10)
+  EXPECT_EQ(done_at, usec(18));
+}
+
+TEST(CpuScheduler, NoSwitchCostForSameProcessBackToBack) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(1));
+  const ProcessId p = s.create_process("p");
+  Time done_at = -1;
+  s.submit(p, usec(10), [&] {
+    s.submit(p, usec(10), [&] { done_at = loop.now(); }, false);
+  });
+  loop.run();
+  // First: 3+5+10 = 18us; second: no wakeup, no switch, +10 = 28us.
+  EXPECT_EQ(done_at, usec(28));
+  EXPECT_EQ(s.stats(p).context_switches, 1u);
+}
+
+TEST(CpuScheduler, QueueingDelayWithBusyCore) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(1));
+  const ProcessId a = s.create_process("a");
+  const ProcessId b = s.create_process("b");
+  Time b_done = -1;
+  s.submit(a, usec(100));
+  s.submit(b, usec(10), [&] { b_done = loop.now(); });
+  loop.run();
+  // b waits for a: wakeup(3) + [a: switch 5 + 100] then b: switch 5 + 10.
+  EXPECT_EQ(b_done, usec(3 + 5 + 100 + 5 + 10));
+}
+
+TEST(CpuScheduler, ParallelismAcrossCores) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(4));
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    const ProcessId p = s.create_process("p");
+    s.submit(p, usec(100), [&] { ++done; });
+  }
+  loop.run();
+  EXPECT_EQ(done, 4);
+  // All four ran in parallel: finished at 3+5+100.
+  EXPECT_EQ(loop.now(), usec(108));
+}
+
+TEST(CpuScheduler, PreemptionBoundsLongTask) {
+  EventLoop loop;
+  auto cfg = basic(1);
+  cfg.timeslice = usec(100);
+  CpuScheduler s(loop, cfg);
+  const ProcessId hog = s.create_process("hog");
+  const ProcessId quick = s.create_process("quick");
+  Time quick_done = -1;
+  s.submit(hog, msec(10));
+  // Submitted just after the hog starts; must preempt within ~a timeslice.
+  loop.schedule_after(usec(20), [&] {
+    s.submit(quick, usec(1), [&] { quick_done = loop.now(); });
+  });
+  loop.run();
+  EXPECT_GT(quick_done, 0);
+  EXPECT_LT(quick_done, usec(400));  // not 10ms!
+}
+
+TEST(CpuScheduler, RoundRobinSharesFairly) {
+  EventLoop loop;
+  auto cfg = basic(1);
+  cfg.timeslice = usec(50);
+  cfg.context_switch_cost = 0;
+  CpuScheduler s(loop, cfg);
+  const ProcessId a = s.create_process("a");
+  const ProcessId b = s.create_process("b");
+  Time a_done = -1, b_done = -1;
+  s.submit(a, usec(500), [&] { a_done = loop.now(); });
+  s.submit(b, usec(500), [&] { b_done = loop.now(); });
+  loop.run();
+  // Interleaved: both finish near 1000us, not 500/1000.
+  EXPECT_GT(a_done, usec(900));
+  EXPECT_GT(b_done, usec(900));
+}
+
+TEST(CpuScheduler, PinnedPollingBypassesQueue) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(2));
+  const ProcessId poller = s.create_process("poller");
+  ASSERT_TRUE(s.pin_core(poller));
+  EXPECT_EQ(s.shared_cores(), 1);
+
+  // Saturate the single shared core.
+  const ProcessId hog = s.create_process("hog");
+  s.submit(hog, msec(50));
+
+  Time done = -1;
+  loop.schedule_after(usec(10), [&] {
+    s.submit(poller, usec(1), [&] { done = loop.now(); });
+  });
+  loop.run();
+  // Poll interval (0.2us) + 1us of service, from t=10us.
+  EXPECT_LT(done, usec(13));
+}
+
+TEST(CpuScheduler, PinnedCoreCountsAsBusy) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(2));
+  const ProcessId poller = s.create_process("poller");
+  ASSERT_TRUE(s.pin_core(poller));
+  loop.run_until(msec(10));
+  // One of two cores busy-polls the whole time => ~50% utilization.
+  EXPECT_NEAR(s.utilization(), 0.5, 0.01);
+}
+
+TEST(CpuScheduler, PinFailsWhenAllCoresPinned) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(1));
+  const ProcessId a = s.create_process("a");
+  const ProcessId b = s.create_process("b");
+  EXPECT_TRUE(s.pin_core(a));
+  EXPECT_FALSE(s.pin_core(b));
+}
+
+TEST(CpuScheduler, ContextSwitchAccounting) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(1));
+  const ProcessId a = s.create_process("a");
+  const ProcessId b = s.create_process("b");
+  for (int i = 0; i < 5; ++i) {
+    s.submit(a, usec(10));
+    s.submit(b, usec(10));
+  }
+  loop.run();
+  EXPECT_EQ(s.total_context_switches(), 10u);
+}
+
+TEST(CpuScheduler, CpuTimeAccounting) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(2));
+  const ProcessId a = s.create_process("a");
+  s.submit(a, usec(100));
+  s.submit(a, usec(50));
+  loop.run();
+  EXPECT_EQ(s.stats(a).cpu_time, usec(150));
+  EXPECT_EQ(s.stats(a).bursts_completed, 2u);
+}
+
+TEST(BackgroundLoad, SaturatesCores) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(4));
+  BackgroundLoad::Config cfg;
+  cfg.median_burst = usec(80);
+  cfg.mean_think = usec(5);
+  BackgroundLoad load(loop, s, cfg, Rng(99));
+  const_cast<BackgroundLoad::Config&>(cfg).tenants = 0;  // silence unused
+  BackgroundLoad heavy(loop, s, {.tenants = 32,
+                                 .median_burst = usec(80),
+                                 .burst_sigma = 1.0,
+                                 .mean_think = usec(5)},
+                       Rng(99));
+  heavy.start();
+  loop.run_until(msec(50));
+  EXPECT_GT(s.utilization(), 0.9);
+}
+
+TEST(BackgroundLoad, InflatesVictimLatency) {
+  EventLoop loop;
+  CpuScheduler s(loop, basic(4));
+  BackgroundLoad load(loop, s,
+                      {.tenants = 64,
+                       .median_burst = usec(80),
+                       .burst_sigma = 1.0,
+                       .mean_think = usec(5)},
+                      Rng(7));
+  load.start();
+  const ProcessId victim = s.create_process("victim");
+  loop.run_until(msec(5));  // warm up the run queue
+
+  Time submitted = loop.now();
+  Time done = -1;
+  s.submit(victim, usec(1), [&] { done = loop.now(); });
+  loop.run_until(msec(200));
+  ASSERT_GT(done, 0);
+  // The 1us task takes far more than 10us end-to-end under load.
+  EXPECT_GT(done - submitted, usec(10));
+}
+
+}  // namespace
+}  // namespace hyperloop::sim

@@ -1,0 +1,120 @@
+#include "sim/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace hyperloop::sim {
+namespace {
+
+TEST(Exponential, MeanMatches) {
+  Rng rng(1);
+  Exponential e(1000.0);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(e.sample(rng));
+  EXPECT_NEAR(sum / n, 1000.0, 20.0);
+}
+
+TEST(Exponential, NonNegative) {
+  Rng rng(2);
+  Exponential e(50.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(e.sample(rng), 0);
+}
+
+TEST(LogNormal, MedianMatches) {
+  Rng rng(3);
+  LogNormal ln(2000.0, 1.0);
+  std::vector<Duration> v;
+  for (int i = 0; i < 100001; ++i) v.push_back(ln.sample(rng));
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  const double median = static_cast<double>(v[v.size() / 2]);
+  EXPECT_NEAR(median, 2000.0, 100.0);
+}
+
+TEST(LogNormal, HasHeavyRightTail) {
+  Rng rng(4);
+  LogNormal ln(1000.0, 1.0);
+  int64_t max = 0;
+  for (int i = 0; i < 100000; ++i) max = std::max<int64_t>(max, ln.sample(rng));
+  EXPECT_GT(max, 10000);  // >10x the median appears in 100k draws
+}
+
+TEST(Zipfian, MostPopularIsRankZero) {
+  Rng rng(5);
+  ZipfianGenerator z(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  int best_count = 0;
+  uint64_t best = 0;
+  for (auto& [k, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = k;
+    }
+  }
+  EXPECT_EQ(best, 0u);
+}
+
+TEST(Zipfian, InRange) {
+  Rng rng(6);
+  ZipfianGenerator z(100, 0.99);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipfian, SkewMatchesTheory) {
+  // With theta=0.99 and n=1000, item 0 should receive ~ 1/zeta fraction.
+  Rng rng(7);
+  ZipfianGenerator z(1000, 0.99);
+  int zero = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) zero += z.sample(rng) == 0 ? 1 : 0;
+  const double frac = static_cast<double>(zero) / n;
+  EXPECT_GT(frac, 0.10);  // heavy skew: top item ~13% at these params
+  EXPECT_LT(frac, 0.20);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  Rng rng(8);
+  ScrambledZipfian z(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  // The hottest key should NOT be key 0 with overwhelming probability.
+  int best_count = 0;
+  uint64_t best = 0;
+  for (auto& [k, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = k;
+    }
+  }
+  EXPECT_LT(best_count, 100000);
+  EXPECT_GT(best_count, 5000);  // still skewed
+  (void)best;
+}
+
+TEST(Latest, PrefersNewestItems) {
+  Rng rng(9);
+  LatestGenerator g(0.99);
+  int newest_half = 0;
+  const uint64_t count = 1000;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (g.sample(rng, count) >= count / 2) ++newest_half;
+  }
+  EXPECT_GT(static_cast<double>(newest_half) / n, 0.8);
+}
+
+TEST(Latest, InRangeAsPopulationGrows) {
+  Rng rng(10);
+  LatestGenerator g(0.99);
+  for (uint64_t count = 1; count < 2000; count += 37) {
+    for (int i = 0; i < 20; ++i) EXPECT_LT(g.sample(rng, count), count);
+  }
+}
+
+}  // namespace
+}  // namespace hyperloop::sim

@@ -1,0 +1,236 @@
+#include "apps/docstore/docstore.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/ycsb/driver.h"
+#include "apps/ycsb/workload.h"
+#include "core/hyperloop_group.h"
+#include "core/server.h"
+#include "core/tcp_group.h"
+
+namespace hyperloop::apps {
+namespace {
+
+using core::Cluster;
+using core::HyperLoopGroup;
+using core::RegionLayout;
+using core::Server;
+
+enum class Backend { kHyperLoop, kTcp };
+
+class DocStoreTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  DocStoreTest() {
+    Cluster::Config cc;
+    cc.num_servers = 4;
+    cc.server.cpu.num_cores = 8;
+    cc.server.nvm_size = 32u << 20;
+    cluster_ = std::make_unique<Cluster>(cc);
+    layout_.region_size = 8u << 20;
+    layout_.log_size = 512 << 10;
+    layout_.num_locks = 64;
+    std::vector<Server*> reps = {&cluster_->server(0), &cluster_->server(1),
+                                 &cluster_->server(2)};
+    if (GetParam() == Backend::kHyperLoop) {
+      HyperLoopGroup::Config gc;
+      gc.region_size = layout_.region_size;
+      gc.ring_slots = 128;
+      gc.max_inflight = 32;
+      group_ =
+          std::make_unique<HyperLoopGroup>(cluster_->server(3), reps, gc);
+    } else {
+      core::TcpReplicationGroup::Config gc;
+      gc.region_size = layout_.region_size;
+      group_ = std::make_unique<core::TcpReplicationGroup>(
+          cluster_->server(3), reps, gc);
+    }
+    DocStore::Config dc;
+    dc.layout = layout_;
+    dc.value_size = 256;
+    store_ = std::make_unique<DocStore>(*group_, cluster_->server(3), dc);
+  }
+
+  void run(sim::Duration d = sim::msec(500)) {
+    cluster_->loop().run_until(cluster_->loop().now() + d);
+  }
+
+  RegionLayout layout_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<core::ReplicationGroup> group_;
+  std::unique_ptr<DocStore> store_;
+};
+
+TEST_P(DocStoreTest, InsertThenRead) {
+  bool ins = false;
+  store_->insert(11, WorkloadGenerator::value_for(11, 256),
+                 [&](bool ok) { ins = ok; });
+  run();
+  ASSERT_TRUE(ins);
+  bool ok = false;
+  std::vector<uint8_t> v;
+  store_->read(11, [&](bool o, std::vector<uint8_t> val) {
+    ok = o;
+    v = std::move(val);
+  });
+  run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v, WorkloadGenerator::value_for(11, 256));
+}
+
+TEST_P(DocStoreTest, UpdateIsTransactionalOnAllReplicas) {
+  bool upd = false;
+  store_->insert(4, WorkloadGenerator::value_for(4, 256), [](bool) {});
+  store_->update(4, WorkloadGenerator::value_for(44, 256),
+                 [&](bool ok) { upd = ok; });
+  run();
+  ASSERT_TRUE(upd);
+  // The document is applied (not just logged) on every replica.
+  const uint64_t stride = 16 + 256;
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> doc(stride);
+    group_->replica_load(i, layout_.db_base() + 4 * stride, doc.data(),
+                         static_cast<uint32_t>(stride));
+    uint64_t key = 0;
+    std::memcpy(&key, doc.data(), 8);
+    EXPECT_EQ(key, 4u);
+    EXPECT_EQ(std::vector<uint8_t>(doc.begin() + 16, doc.end()),
+              WorkloadGenerator::value_for(44, 256));
+  }
+}
+
+TEST_P(DocStoreTest, CommittedUpdateSurvivesCrashEverywhere) {
+  bool upd = false;
+  store_->update(9, WorkloadGenerator::value_for(99, 256),
+                 [&](bool ok) { upd = ok; });
+  run();
+  ASSERT_TRUE(upd);
+  for (size_t i = 0; i < 3; ++i) {
+    Server& s = GetParam() == Backend::kHyperLoop
+                    ? static_cast<HyperLoopGroup*>(group_.get())
+                          ->replica_server(i)
+                    : static_cast<core::TcpReplicationGroup*>(group_.get())
+                          ->replica_server(i);
+    s.nvm().crash();
+    const uint64_t stride = 16 + 256;
+    std::vector<uint8_t> doc(stride);
+    group_->replica_load(i, layout_.db_base() + 9 * stride, doc.data(),
+                         static_cast<uint32_t>(stride));
+    EXPECT_EQ(std::vector<uint8_t>(doc.begin() + 16, doc.end()),
+              WorkloadGenerator::value_for(99, 256))
+        << "replica " << i;
+  }
+}
+
+TEST_P(DocStoreTest, ReadMissingDocFails) {
+  bool ok = true;
+  store_->read(12345, [&](bool o, std::vector<uint8_t>) { ok = o; });
+  run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_P(DocStoreTest, ScanFindsLoadedRange) {
+  store_->bulk_load(200);
+  run(sim::msec(200));
+  bool ok = false;
+  store_->scan(50, 20, [&](bool o) { ok = o; });
+  run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(DocStoreTest, RmwRoundTrips) {
+  store_->bulk_load(50);
+  run(sim::msec(100));
+  bool ok = false;
+  store_->read_modify_write(20, WorkloadGenerator::value_for(777, 256),
+                            [&](bool o) { ok = o; });
+  run();
+  ASSERT_TRUE(ok);
+  std::vector<uint8_t> v;
+  store_->read(20, [&](bool, std::vector<uint8_t> val) { v = std::move(val); });
+  run();
+  EXPECT_EQ(v, WorkloadGenerator::value_for(777, 256));
+}
+
+TEST_P(DocStoreTest, ConcurrentWritersOnSameStripeSerialize) {
+  // Keys 0 and 64 share lock stripe 0 (64 stripes): both commit.
+  int done = 0;
+  store_->update(0, WorkloadGenerator::value_for(1, 256),
+                 [&](bool ok) { done += ok ? 1 : 0; });
+  store_->update(64, WorkloadGenerator::value_for(2, 256),
+                 [&](bool ok) { done += ok ? 1 : 0; });
+  run(sim::seconds(2));
+  EXPECT_EQ(done, 2);
+}
+
+TEST_P(DocStoreTest, YcsbMixRunsClean) {
+  store_->bulk_load(500);
+  run(sim::msec(200));
+  WorkloadSpec spec = WorkloadSpec::A();
+  spec.value_size = 256;
+  WorkloadGenerator gen(spec, 500, cluster_->fork_rng());
+  YcsbDriver::Config dc;
+  dc.threads = 4;
+  dc.total_ops = 1000;
+  YcsbDriver driver(cluster_->loop(), *store_, gen, dc);
+  bool complete = false;
+  driver.start([&] { complete = true; });
+  run(sim::seconds(60));
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(driver.failed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DocStoreTest,
+                         ::testing::Values(Backend::kHyperLoop, Backend::kTcp),
+                         [](const auto& info) {
+                           return info.param == Backend::kHyperLoop
+                                      ? "HyperLoop"
+                                      : "TcpNative";
+                         });
+
+// Replica reads via the one-sided reader.
+TEST(DocStoreReplicaRead, ReadsFromTailReplica) {
+  Cluster::Config cc;
+  cc.num_servers = 4;
+  Cluster cluster(cc);
+  RegionLayout layout;
+  layout.region_size = 4u << 20;
+  layout.log_size = 256 << 10;
+  layout.num_locks = 64;
+  HyperLoopGroup::Config gc;
+  gc.region_size = layout.region_size;
+  gc.ring_slots = 64;
+  gc.max_inflight = 16;
+  std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                               &cluster.server(2)};
+  HyperLoopGroup group(cluster.server(3), reps, gc);
+  DocStore::Config dc;
+  dc.layout = layout;
+  dc.value_size = 256;
+  dc.read_from_replica = true;
+  dc.read_replica = 2;
+  DocStore store(group, cluster.server(3), dc);
+  core::RemoteReader reader(cluster.server(3), group.replica_server(2),
+                            group.replica_region_base(2),
+                            group.replica_data_rkey(2));
+  store.set_remote_reader(&reader);
+
+  bool ins = false;
+  store.insert(8, WorkloadGenerator::value_for(8, 256),
+               [&](bool ok) { ins = ok; });
+  cluster.loop().run_until(sim::msec(500));
+  ASSERT_TRUE(ins);
+
+  bool ok = false;
+  std::vector<uint8_t> v;
+  store.read(8, [&](bool o, std::vector<uint8_t> val) {
+    ok = o;
+    v = std::move(val);
+  });
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(100));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v, WorkloadGenerator::value_for(8, 256));
+  EXPECT_GT(reader.reads_issued(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperloop::apps

@@ -1,0 +1,123 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyperloop::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Time fired = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  Time fired = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [&] { fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelAfterFireReturnsFalse) {
+  EventLoop loop;
+  const EventId id = loop.schedule_at(10, [] {});
+  loop.run();
+  EXPECT_FALSE(loop.cancel(id));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    loop.schedule_at(t, [&] { ++count; });
+  }
+  loop.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), 50);
+  loop.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockEvenWhenIdle) {
+  EventLoop loop;
+  loop.run_until(12345);
+  EXPECT_EQ(loop.now(), 12345);
+}
+
+TEST(EventLoop, StopInterruptsRun) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(i, [&] {
+      ++count;
+      if (count == 3) loop.stop();
+    });
+  }
+  loop.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_GT(loop.pending(), 0u);
+}
+
+TEST(EventLoop, EventsCanScheduleRecursively) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 100) loop.schedule_after(1, recur);
+  };
+  loop.schedule_after(0, recur);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), 99);
+}
+
+TEST(EventLoop, PendingCountsOnlyLiveEvents) {
+  EventLoop loop;
+  const EventId a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperloop::sim

@@ -1,0 +1,143 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace hyperloop::stats {
+namespace {
+
+TEST(Histogram, EmptyReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.percentile(0), 42);
+  EXPECT_EQ(h.percentile(50), 42);
+  EXPECT_EQ(h.percentile(100), 42);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h(6);  // values < 64 are exact
+  for (int i = 0; i < 64; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(50), 31);  // rank 32 (ceil of 0.5*64) -> value 31
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  sim::Rng rng(3);
+  Histogram h;
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<int64_t>(rng.next_below(10'000'000)) + 1;
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const auto idx = static_cast<size_t>(p / 100.0 * vals.size()) - 1;
+    const double exact = static_cast<double>(vals[idx]);
+    const double approx = static_cast<double>(h.percentile(p));
+    EXPECT_NEAR(approx / exact, 1.0, 0.02) << "p" << p;
+  }
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  int64_t sum = 0;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    h.record(v * 117);
+    sum += v * 117;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 1000.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  sim::Rng rng(5);
+  Histogram a, b, all;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<int64_t>(rng.next_below(1'000'000));
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double p : {50.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), all.percentile(p));
+  }
+}
+
+TEST(Histogram, RecordNCounts) {
+  Histogram h;
+  h.record_n(100, 7);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 700);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0);
+  h.record(9);
+  EXPECT_EQ(h.max(), 9);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.record(int64_t{1} << 60);
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(100), (int64_t{1} << 60) / 2);
+}
+
+class HistogramPercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramPercentileSweep, MonotoneInP) {
+  sim::Rng rng(11);
+  Histogram h;
+  for (int i = 0; i < 50000; ++i) {
+    h.record(static_cast<int64_t>(rng.next_below(1'000'000)));
+  }
+  const double p = GetParam();
+  EXPECT_LE(h.percentile(p), h.percentile(std::min(100.0, p + 5.0)));
+  EXPECT_GE(h.percentile(p), h.min());
+  EXPECT_LE(h.percentile(p), h.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramPercentileSweep,
+                         ::testing::Values(1.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           95.0, 99.0, 99.9));
+
+}  // namespace
+}  // namespace hyperloop::stats

@@ -1,0 +1,140 @@
+#include "nvm/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace hyperloop::nvm {
+namespace {
+
+TEST(IntervalSet, InsertAndCover) {
+  IntervalSet s;
+  s.insert(10, 20);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_TRUE(s.covers(12, 15));
+  EXPECT_FALSE(s.covers(5, 15));
+  EXPECT_FALSE(s.covers(15, 25));
+  EXPECT_EQ(s.total_bytes(), 10u);
+}
+
+TEST(IntervalSet, EmptyRangeSemantics) {
+  IntervalSet s;
+  EXPECT_TRUE(s.covers(5, 5));
+  EXPECT_FALSE(s.intersects(5, 5));
+  s.insert(7, 7);  // no-op
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, MergesAdjacent) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(10, 20);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 20));
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.insert(0, 15);
+  s.insert(10, 30);
+  s.insert(25, 40);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 40u);
+}
+
+TEST(IntervalSet, KeepsDisjoint) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.covers(10, 20));
+  EXPECT_TRUE(s.intersects(5, 25));
+}
+
+TEST(IntervalSet, BridgeMergesMany) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  s.insert(5, 45);  // bridges all three
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 50));
+}
+
+TEST(IntervalSet, EraseMiddleSplits) {
+  IntervalSet s;
+  s.insert(0, 30);
+  s.erase(10, 20);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.covers(0, 10));
+  EXPECT_TRUE(s.covers(20, 30));
+  EXPECT_FALSE(s.intersects(10, 20));
+  EXPECT_EQ(s.total_bytes(), 20u);
+}
+
+TEST(IntervalSet, EraseEdges) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.erase(5, 12);
+  EXPECT_TRUE(s.covers(12, 20));
+  EXPECT_FALSE(s.intersects(10, 12));
+  s.erase(18, 25);
+  EXPECT_TRUE(s.covers(12, 18));
+  EXPECT_EQ(s.total_bytes(), 6u);
+}
+
+TEST(IntervalSet, EraseAcrossMultiple) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  s.erase(5, 45);
+  EXPECT_EQ(s.total_bytes(), 10u);
+  EXPECT_TRUE(s.covers(0, 5));
+  EXPECT_TRUE(s.covers(45, 50));
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+// Property test against a brute-force bitmap model.
+TEST(IntervalSet, MatchesBitmapModelUnderRandomOps) {
+  sim::Rng rng(77);
+  IntervalSet s;
+  std::vector<bool> model(256, false);
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t a = rng.next_below(256);
+    const uint64_t b = a + rng.next_below(32);
+    const uint64_t end = std::min<uint64_t>(b, 256);
+    if (rng.chance(0.6)) {
+      s.insert(a, end);
+      for (uint64_t i = a; i < end; ++i) model[i] = true;
+    } else {
+      s.erase(a, end);
+      for (uint64_t i = a; i < end; ++i) model[i] = false;
+    }
+    // Spot-check a random query window.
+    const uint64_t qa = rng.next_below(256);
+    const uint64_t qb = std::min<uint64_t>(qa + rng.next_below(16), 256);
+    bool all = true, any = false;
+    for (uint64_t i = qa; i < qb; ++i) {
+      all = all && model[i];
+      any = any || model[i];
+    }
+    if (qa < qb) {
+      EXPECT_EQ(s.covers(qa, qb), all) << "step " << step;
+      EXPECT_EQ(s.intersects(qa, qb), any) << "step " << step;
+    }
+    uint64_t total = 0;
+    for (bool v : model) total += v ? 1 : 0;
+    EXPECT_EQ(s.total_bytes(), total) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace hyperloop::nvm

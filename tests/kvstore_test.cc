@@ -1,0 +1,191 @@
+#include "apps/kvstore/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/ycsb/driver.h"
+#include "apps/ycsb/workload.h"
+#include "core/hyperloop_group.h"
+#include "core/server.h"
+
+namespace hyperloop::apps {
+namespace {
+
+using core::Cluster;
+using core::HyperLoopGroup;
+using core::RegionLayout;
+using core::Server;
+
+struct KvFixture : ::testing::Test {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    c.server.nvm_size = 32u << 20;
+    return c;
+  }()};
+  RegionLayout layout = [] {
+    RegionLayout l;
+    l.region_size = 8u << 20;
+    l.log_size = 512 << 10;
+    l.num_locks = 64;
+    return l;
+  }();
+  std::unique_ptr<HyperLoopGroup> group = [this] {
+    HyperLoopGroup::Config gc;
+    gc.region_size = layout.region_size;
+    gc.ring_slots = 128;
+    gc.max_inflight = 32;
+    std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                                 &cluster.server(2)};
+    return std::make_unique<HyperLoopGroup>(cluster.server(3), reps, gc);
+  }();
+  KvStore::Config kcfg = [this] {
+    KvStore::Config c;
+    c.layout = layout;
+    c.value_size = 256;
+    return c;
+  }();
+  std::vector<core::Server*> reps = {&cluster.server(0), &cluster.server(1),
+                                     &cluster.server(2)};
+  KvStore kv{*group, cluster.server(3), reps, kcfg};
+
+  void run(sim::Duration d = sim::msec(500)) {
+    cluster.loop().run_until(cluster.loop().now() + d);
+  }
+};
+
+TEST_F(KvFixture, PutThenGet) {
+  bool put = false;
+  kv.insert(5, WorkloadGenerator::value_for(5, 256), [&](bool ok) { put = ok; });
+  run();
+  ASSERT_TRUE(put);
+  bool got = false;
+  std::vector<uint8_t> value;
+  kv.read(5, [&](bool ok, std::vector<uint8_t> v) {
+    got = ok;
+    value = std::move(v);
+  });
+  run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(value, WorkloadGenerator::value_for(5, 256));
+}
+
+TEST_F(KvFixture, ReadMissingKeyFails) {
+  bool ok = true;
+  kv.read(9999, [&](bool o, std::vector<uint8_t>) { ok = o; });
+  run(sim::msec(10));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(KvFixture, UpdateOverwrites) {
+  bool done = false;
+  kv.insert(7, WorkloadGenerator::value_for(7, 256), [&](bool) {});
+  kv.update(7, WorkloadGenerator::value_for(8, 256), [&](bool ok) { done = ok; });
+  run();
+  ASSERT_TRUE(done);
+  std::vector<uint8_t> value;
+  kv.read(7, [&](bool, std::vector<uint8_t> v) { value = std::move(v); });
+  run();
+  EXPECT_EQ(value, WorkloadGenerator::value_for(8, 256));
+}
+
+TEST_F(KvFixture, ReplicasSyncEventually) {
+  bool put = false;
+  kv.insert(3, WorkloadGenerator::value_for(3, 256), [&](bool ok) { put = ok; });
+  run(sim::msec(2));
+  ASSERT_TRUE(put);
+  // Give the 1ms sync period a few rounds.
+  run(sim::msec(10));
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> v;
+    ASSERT_TRUE(kv.replica_read(i, 3, &v)) << "replica " << i;
+    EXPECT_EQ(v, WorkloadGenerator::value_for(3, 256));
+  }
+}
+
+TEST_F(KvFixture, CheckpointTruncatesLog) {
+  // Push enough writes to cross the checkpoint threshold repeatedly.
+  int done = 0;
+  const int n = 2000;
+  for (int k = 0; k < n; ++k) {
+    kv.update(static_cast<uint64_t>(k % 100),
+              WorkloadGenerator::value_for(static_cast<uint64_t>(k), 256),
+              [&](bool ok) { done += ok ? 1 : 0; });
+  }
+  run(sim::seconds(20));
+  EXPECT_EQ(done, n);
+  EXPECT_GT(kv.checkpoints(), 0u);
+  EXPECT_LT(kv.wal().used_bytes(), layout.log_size);
+}
+
+TEST_F(KvFixture, RecoveryAfterCrashRestoresCommittedData) {
+  int done = 0;
+  for (uint64_t k = 0; k < 50; ++k) {
+    kv.insert(k, WorkloadGenerator::value_for(k * 3, 256),
+              [&](bool ok) { done += ok ? 1 : 0; });
+  }
+  run(sim::seconds(2));
+  ASSERT_EQ(done, 50);
+
+  // Crash the coordinator's NVM (committed = durable by construction),
+  // then rebuild the memtable from the region image.
+  cluster.server(3).nvm().crash();
+  kv.recover();
+  for (uint64_t k = 0; k < 50; ++k) {
+    std::vector<uint8_t> v;
+    bool ok = false;
+    kv.read(k, [&](bool o, std::vector<uint8_t> val) {
+      ok = o;
+      v = std::move(val);
+    });
+    run(sim::msec(5));
+    ASSERT_TRUE(ok) << "key " << k;
+    EXPECT_EQ(v, WorkloadGenerator::value_for(k * 3, 256)) << "key " << k;
+  }
+}
+
+TEST_F(KvFixture, BulkLoadSeedsStoreAndReplicas) {
+  kv.bulk_load(500);
+  run(sim::msec(100));
+  bool ok = false;
+  std::vector<uint8_t> v;
+  kv.read(499, [&](bool o, std::vector<uint8_t> val) {
+    ok = o;
+    v = std::move(val);
+  });
+  run(sim::msec(5));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v, WorkloadGenerator::value_for(499, 256));
+  EXPECT_EQ(kv.replica_record_count(0), 500u);
+  // Replica region bytes match too.
+  uint64_t key = 0;
+  group->replica_load(2, layout.db_base() + 499 * (16 + 256), &key, 8);
+  EXPECT_EQ(key, 499u);
+}
+
+TEST_F(KvFixture, YcsbWorkloadARunsClean) {
+  kv.bulk_load(1000);
+  run(sim::msec(100));
+  WorkloadGenerator gen(
+      [] {
+        WorkloadSpec s = WorkloadSpec::A();
+        s.value_size = 256;
+        return s;
+      }(),
+      1000, cluster.fork_rng());
+  YcsbDriver::Config dc;
+  dc.threads = 4;
+  dc.total_ops = 2000;
+  YcsbDriver driver(cluster.loop(), kv, gen, dc);
+  bool complete = false;
+  driver.start([&] { complete = true; });
+  run(sim::seconds(30));
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(driver.completed(), 2000u);
+  EXPECT_EQ(driver.failed(), 0u);
+  EXPECT_GT(driver.latency(OpType::kUpdate).count(), 0u);
+  EXPECT_GT(driver.latency(OpType::kRead).count(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperloop::apps

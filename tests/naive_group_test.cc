@@ -1,0 +1,211 @@
+#include "core/naive_group.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/server.h"
+
+namespace hyperloop::core {
+namespace {
+
+struct NaiveFixture : ::testing::Test {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+
+  std::unique_ptr<NaiveRdmaGroup> make_group(
+      NaiveRdmaGroup::Mode mode = NaiveRdmaGroup::Mode::kEvent,
+      size_t replicas = 3) {
+    NaiveRdmaGroup::Config cfg;
+    cfg.region_size = 1 << 20;
+    cfg.mode = mode;
+    std::vector<Server*> r;
+    for (size_t i = 0; i < replicas; ++i) r.push_back(&cluster.server(i));
+    return std::make_unique<NaiveRdmaGroup>(cluster.server(3), r, cfg);
+  }
+
+  void run(sim::Duration d = sim::msec(100)) {
+    cluster.loop().run_until(cluster.loop().now() + d);
+  }
+};
+
+TEST_F(NaiveFixture, GwriteReplicates) {
+  auto g = make_group();
+  const std::string data = "naive-write";
+  g->client_store(32, data.data(), data.size());
+  bool done = false;
+  g->gwrite(32, data.size(), false, [&] { done = true; });
+  run();
+  ASSERT_TRUE(done);
+  for (size_t i = 0; i < 3; ++i) {
+    std::string out(data.size(), '\0');
+    g->replica_load(i, 32, out.data(), out.size());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_F(NaiveFixture, GwriteFlushDurable) {
+  auto g = make_group();
+  const std::string data = "naive-durable";
+  g->client_store(0, data.data(), data.size());
+  bool done = false;
+  g->gwrite(0, data.size(), true, [&] { done = true; });
+  run();
+  ASSERT_TRUE(done);
+  for (size_t i = 0; i < 3; ++i) {
+    g->replica_server(i).nvm().crash();
+    std::string out(data.size(), '\0');
+    g->replica_load(i, 0, out.data(), out.size());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_F(NaiveFixture, GmemcpyExecutesOnCpu) {
+  auto g = make_group();
+  const std::string data = "copy-me";
+  g->client_store(0, data.data(), data.size());
+  bool done = false;
+  g->gwrite(0, data.size(), true, [&] {
+    g->gmemcpy(0, 2048, data.size(), true, [&] { done = true; });
+  });
+  run();
+  ASSERT_TRUE(done);
+  for (size_t i = 0; i < 3; ++i) {
+    std::string out(data.size(), '\0');
+    g->replica_load(i, 2048, out.data(), out.size());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_F(NaiveFixture, GcasWithExecuteMapAndResult) {
+  auto g = make_group();
+  std::vector<uint64_t> result;
+  g->gcas(128, 0, 11, {true, false, true},
+          [&](const std::vector<uint64_t>& r) { result = r; });
+  run();
+  ASSERT_EQ(result.size(), 3u);
+  uint64_t v = 0;
+  g->replica_load(0, 128, &v, 8);
+  EXPECT_EQ(v, 11u);
+  g->replica_load(1, 128, &v, 8);
+  EXPECT_EQ(v, 0u);
+  g->replica_load(2, 128, &v, 8);
+  EXPECT_EQ(v, 11u);
+}
+
+TEST_F(NaiveFixture, ReplicaCpuIsOnCriticalPath) {
+  auto g = make_group();
+  bool done = false;
+  g->gwrite(0, 128, false, [&] { done = true; });
+  run();
+  ASSERT_TRUE(done);
+  // Every replica's handler process consumed CPU for this single op.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(g->replica_cpu_time(i), 0) << "replica " << i;
+  }
+}
+
+TEST_F(NaiveFixture, PollingModeWorksAndPinsCores) {
+  auto g = make_group(NaiveRdmaGroup::Mode::kPolling);
+  bool done = false;
+  g->gwrite(0, 64, true, [&] { done = true; });
+  run();
+  ASSERT_TRUE(done);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(g->replica_server(i).sched().shared_cores(), 7);
+  }
+}
+
+TEST_F(NaiveFixture, PipelinedOpsComplete) {
+  auto g = make_group();
+  int done = 0;
+  const int n = 200;
+  for (int k = 0; k < n; ++k) {
+    const uint64_t off = static_cast<uint64_t>(k) * 32;
+    uint64_t v = static_cast<uint64_t>(k) * 3 + 1;
+    g->client_store(off, &v, 8);
+    g->gwrite(off, 8, false, [&] { ++done; });
+  }
+  run(sim::msec(500));
+  ASSERT_EQ(done, n);
+  for (int k = 0; k < n; k += 17) {
+    uint64_t v = 0;
+    g->replica_load(2, static_cast<uint64_t>(k) * 32, &v, 8);
+    EXPECT_EQ(v, static_cast<uint64_t>(k) * 3 + 1);
+  }
+}
+
+TEST_F(NaiveFixture, LoadedServerInflatesLatencyVsPolling) {
+  // Event-driven replicas under CPU load should be much slower than
+  // polling replicas for the same ops — the §6.2 effect.
+  for (size_t i = 0; i < 3; ++i) {
+    cluster.server(i).add_background_load(
+        48, cluster.fork_rng(),
+        {.tenants = 0, .median_burst = sim::usec(80), .burst_sigma = 1.0,
+         .mean_think = sim::usec(10)});
+  }
+  auto event_group = make_group(NaiveRdmaGroup::Mode::kEvent);
+  auto poll_group = make_group(NaiveRdmaGroup::Mode::kPolling);
+  run(sim::msec(10));  // warm up the load
+
+  sim::Time event_lat = 0, poll_lat = 0;
+  sim::Time t0 = cluster.loop().now();
+  bool d1 = false;
+  event_group->gwrite(0, 64, false, [&] {
+    d1 = true;
+    event_lat = cluster.loop().now() - t0;
+  });
+  run(sim::msec(200));
+  ASSERT_TRUE(d1);
+
+  t0 = cluster.loop().now();
+  bool d2 = false;
+  poll_group->gwrite(0, 64, false, [&] {
+    d2 = true;
+    poll_lat = cluster.loop().now() - t0;
+  });
+  run(sim::msec(200));
+  ASSERT_TRUE(d2);
+
+  EXPECT_GT(event_lat, poll_lat);
+}
+
+TEST_F(NaiveFixture, SharedPollingCompletesWithoutPinnedCores) {
+  auto g = make_group(NaiveRdmaGroup::Mode::kSharedPolling);
+  int done = 0;
+  for (int k = 0; k < 50; ++k) {
+    uint64_t v = static_cast<uint64_t>(k) + 9;
+    g->client_store(static_cast<uint64_t>(k) * 16, &v, 8);
+    g->gwrite(static_cast<uint64_t>(k) * 16, 8, true, [&] { ++done; });
+  }
+  run(sim::msec(500));
+  ASSERT_EQ(done, 50);
+  uint64_t v = 0;
+  g->replica_load(2, 49 * 16, &v, 8);
+  EXPECT_EQ(v, 58u);
+  for (size_t i = 0; i < 3; ++i) {
+    // No core reservation; the poll loop burns shared CPU instead.
+    EXPECT_EQ(g->replica_server(i).sched().shared_cores(), 8);
+    EXPECT_GT(g->replica_cpu_time(i), sim::msec(1));
+  }
+}
+
+TEST_F(NaiveFixture, SingleReplicaChain) {
+  auto g = make_group(NaiveRdmaGroup::Mode::kEvent, 1);
+  bool done = false;
+  const uint64_t v = 5;
+  g->client_store(0, &v, 8);
+  g->gwrite(0, 8, true, [&] { done = true; });
+  run();
+  ASSERT_TRUE(done);
+  uint64_t out = 0;
+  g->replica_load(0, 0, &out, 8);
+  EXPECT_EQ(out, 5u);
+}
+
+}  // namespace
+}  // namespace hyperloop::core

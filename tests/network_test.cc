@@ -1,0 +1,142 @@
+#include "rdma/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyperloop::rdma {
+namespace {
+
+Network::Config cfg() {
+  Network::Config c;
+  c.bandwidth_bps = 56e9;
+  c.propagation_delay = sim::nsec(900);
+  return c;
+}
+
+TEST(Network, DeliversToDestination) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  int got_a = 0, got_b = 0;
+  const NicId a = net.attach([&](Packet) { ++got_a; });
+  const NicId b = net.attach([&](Packet) { ++got_b; });
+  Packet p;
+  p.src_nic = a;
+  p.dst_nic = b;
+  net.transmit(p);
+  loop.run();
+  EXPECT_EQ(got_a, 0);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(net.packets_delivered(), 1u);
+}
+
+TEST(Network, LatencyIncludesPropagationAndSerialization) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  sim::Time arrival = -1;
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([&](Packet) { arrival = loop.now(); });
+  Packet p;
+  p.src_nic = a;
+  p.dst_nic = b;
+  p.payload.resize(7000 - 64);  // wire bytes = 7000 -> 1us at 56 Gbps
+  net.transmit(std::move(p));
+  loop.run();
+  EXPECT_NEAR(static_cast<double>(arrival), 1000.0 + 900.0, 20.0);
+}
+
+TEST(Network, FifoPerSource) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  std::vector<uint64_t> order;
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([&](Packet p) { order.push_back(p.wr_seq); });
+  for (uint64_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.src_nic = a;
+    p.dst_nic = b;
+    p.wr_seq = i;
+    p.payload.resize((i % 3) * 4000);  // varying sizes must not reorder
+    net.transmit(std::move(p));
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Network, SourcePortSerializes) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  std::vector<sim::Time> arrivals;
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([&](Packet) { arrivals.push_back(loop.now()); });
+  // Two back-to-back 7000B (1us) packets: second arrives ~1us later.
+  for (int i = 0; i < 2; ++i) {
+    Packet p;
+    p.src_nic = a;
+    p.dst_nic = b;
+    p.payload.resize(7000 - 64);
+    net.transmit(std::move(p));
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - arrivals[0]), 1000.0, 20.0);
+}
+
+TEST(Network, DistinctSourcesDoNotSerialize) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  std::vector<sim::Time> arrivals;
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([](Packet) {});
+  const NicId c = net.attach([&](Packet) { arrivals.push_back(loop.now()); });
+  for (NicId src : {a, b}) {
+    Packet p;
+    p.src_nic = src;
+    p.dst_nic = c;
+    p.payload.resize(7000 - 64);
+    net.transmit(std::move(p));
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);  // parallel links
+}
+
+TEST(Network, DatagramDelivery) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  std::vector<uint8_t> got;
+  NicId got_src = 999;
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([](Packet) {},
+                             [&](NicId src, std::vector<uint8_t> bytes) {
+                               got_src = src;
+                               got = std::move(bytes);
+                             });
+  net.transmit_datagram(a, b, {1, 2, 3});
+  loop.run();
+  EXPECT_EQ(got_src, a);
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, SetDatagramHandlerLater) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  const NicId a = net.attach([](Packet) {});
+  const NicId b = net.attach([](Packet) {});
+  int got = 0;
+  net.set_datagram_handler(b, [&](NicId, std::vector<uint8_t>) { ++got; });
+  net.transmit_datagram(a, b, {9});
+  loop.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, SerializeTimeScalesWithBytes) {
+  sim::EventLoop loop;
+  Network net(loop, cfg());
+  EXPECT_LT(net.serialize_time(100), net.serialize_time(10000));
+  EXPECT_GT(net.serialize_time(0), 0);  // strictly positive keeps FIFO
+}
+
+}  // namespace
+}  // namespace hyperloop::rdma

@@ -1,0 +1,119 @@
+#include "nvm/nvm_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace hyperloop::nvm {
+namespace {
+
+struct Fixture : ::testing::Test {
+  rdma::HostMemory mem{1 << 20};
+  NvmDevice nvm{mem, 64 << 10};
+};
+
+TEST_F(Fixture, WritesAreDirtyUntilPersisted) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "data", 4);
+  EXPECT_FALSE(nvm.is_durable(a, 4));
+  EXPECT_EQ(nvm.dirty_bytes(), 4u);
+  nvm.persist(a, 4);
+  EXPECT_TRUE(nvm.is_durable(a, 4));
+  EXPECT_EQ(nvm.dirty_bytes(), 0u);
+}
+
+TEST_F(Fixture, CrashLosesUnpersistedWrites) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "AAAA", 4);
+  nvm.persist(a, 4);
+  mem.write(a, "BBBB", 4);  // not persisted
+  nvm.crash();
+  char out[5] = {};
+  mem.read(a, out, 4);
+  EXPECT_STREQ(out, "AAAA");
+  EXPECT_EQ(nvm.crash_count(), 1u);
+}
+
+TEST_F(Fixture, CrashKeepsPersistedWrites) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "keep", 4);
+  nvm.persist(a, 4);
+  nvm.crash();
+  char out[5] = {};
+  mem.read(a, out, 4);
+  EXPECT_STREQ(out, "keep");
+}
+
+TEST_F(Fixture, PartialPersistSplitsFate) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "XXXXYYYY", 8);
+  nvm.persist(a, 4);  // only the first half
+  nvm.crash();
+  char out[9] = {};
+  mem.read(a, out, 8);
+  EXPECT_EQ(std::memcmp(out, "XXXX", 4), 0);
+  EXPECT_NE(std::memcmp(out + 4, "YYYY", 4), 0);  // lost -> old bytes (zeros)
+}
+
+TEST_F(Fixture, PersistAllFlushesEverything) {
+  const rdma::Addr a = nvm.alloc(128);
+  mem.write(a, "1111", 4);
+  mem.write(a + 64, "2222", 4);
+  EXPECT_GT(nvm.dirty_bytes(), 0u);
+  nvm.persist_all();
+  EXPECT_EQ(nvm.dirty_bytes(), 0u);
+  nvm.crash();
+  char out[5] = {};
+  mem.read(a + 64, out, 4);
+  EXPECT_STREQ(out, "2222");
+}
+
+TEST_F(Fixture, WritesOutsideNvmAreNotTracked) {
+  // Allocate from the general arena (after the NVM range).
+  const rdma::Addr a = mem.alloc(64);
+  ASSERT_FALSE(nvm.contains(a));
+  mem.write(a, "dram", 4);
+  EXPECT_EQ(nvm.dirty_bytes(), 0u);
+  EXPECT_TRUE(nvm.is_durable(a, 4));  // trivially: not NVM
+}
+
+TEST_F(Fixture, OverlappingDirtyRangesMerge) {
+  const rdma::Addr a = nvm.alloc(256);
+  mem.write(a, "aaaaaaaa", 8);
+  mem.write(a + 4, "bbbbbbbb", 8);
+  EXPECT_EQ(nvm.dirty_bytes(), 12u);
+}
+
+TEST_F(Fixture, CrashIsIdempotentWhenClean) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "solid", 5);
+  nvm.persist_all();
+  nvm.crash();
+  nvm.crash();
+  char out[6] = {};
+  mem.read(a, out, 5);
+  EXPECT_STREQ(out, "solid");
+}
+
+TEST_F(Fixture, AllocStaysInRange) {
+  for (int i = 0; i < 100; ++i) {
+    const rdma::Addr a = nvm.alloc(256);
+    EXPECT_TRUE(nvm.contains(a));
+    EXPECT_TRUE(nvm.contains(a + 255));
+  }
+}
+
+TEST_F(Fixture, RewriteAfterCrashWorks) {
+  const rdma::Addr a = nvm.alloc(64);
+  mem.write(a, "lost", 4);
+  nvm.crash();
+  mem.write(a, "new!", 4);
+  nvm.persist(a, 4);
+  nvm.crash();
+  char out[5] = {};
+  mem.read(a, out, 4);
+  EXPECT_STREQ(out, "new!");
+}
+
+}  // namespace
+}  // namespace hyperloop::nvm

@@ -1,0 +1,144 @@
+// Shared receive queue tests (§5: multiple clients served by one replica
+// through a shared pool of pre-posted RECVs).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/nvm_device.h"
+#include "rdma/network.h"
+#include "rdma/nic.h"
+#include "sim/event_loop.h"
+
+namespace hyperloop::rdma {
+namespace {
+
+struct SrqFixture : ::testing::Test {
+  sim::EventLoop loop;
+  Network net{loop, Network::Config{}};
+  HostMemory mem_srv{1 << 20}, mem_c1{1 << 20}, mem_c2{1 << 20};
+  nvm::NvmDevice nvm_srv{mem_srv, 64 << 10}, nvm_c1{mem_c1, 64 << 10},
+      nvm_c2{mem_c2, 64 << 10};
+  Nic srv{loop, net, mem_srv, &nvm_srv};
+  Nic c1{loop, net, mem_c1, &nvm_c1};
+  Nic c2{loop, net, mem_c2, &nvm_c2};
+
+  CompletionQueue* recv_cq = srv.create_cq();
+  SharedReceiveQueue* srq = srv.create_srq();
+  QueuePair* q1 = srv.create_qp(nullptr, recv_cq, 16);
+  QueuePair* q2 = srv.create_qp(nullptr, recv_cq, 16);
+
+  CompletionQueue* cq1 = c1.create_cq();
+  CompletionQueue* cq2 = c2.create_cq();
+  QueuePair* qc1 = c1.create_qp(cq1, nullptr, 16);
+  QueuePair* qc2 = c2.create_qp(cq2, nullptr, 16);
+
+  Addr buf = 0;
+  MemoryRegion mr{};
+
+  void SetUp() override {
+    srv.attach_srq(q1, srq);
+    srv.attach_srq(q2, srq);
+    c1.connect(qc1, srv.id(), q1->qpn);
+    srv.connect(q1, c1.id(), qc1->qpn);
+    c2.connect(qc2, srv.id(), q2->qpn);
+    srv.connect(q2, c2.id(), qc2->qpn);
+    buf = mem_srv.alloc(1024);
+    mr = srv.register_mr(buf, 1024, kLocalWrite);
+  }
+
+  void post_srq_slot(uint64_t id) {
+    RecvWqe r;
+    r.wr_id = id;
+    r.sges = {Sge{buf + id * 64, 64, mr.lkey}};
+    srv.post_srq_recv(srq, std::move(r));
+  }
+};
+
+TEST_F(SrqFixture, TwoSendersShareOnePool) {
+  for (uint64_t i = 0; i < 4; ++i) post_srq_slot(i);
+
+  const Addr m1 = mem_c1.alloc(16);
+  const Addr m2 = mem_c2.alloc(16);
+  mem_c1.write(m1, "from-c1", 8);
+  mem_c2.write(m2, "from-c2", 8);
+  c1.post_send(qc1, make_send(m1, 0, 8));
+  c2.post_send(qc2, make_send(m2, 0, 8));
+  loop.run();
+
+  // Both consumed SRQ slots (0 and 1, in arrival order); both completions
+  // arrive on the shared recv CQ with the right source QPs.
+  EXPECT_EQ(srq->queue.size(), 2u);
+  Cqe a, b;
+  ASSERT_TRUE(recv_cq->poll(&a));
+  ASSERT_TRUE(recv_cq->poll(&b));
+  EXPECT_NE(a.qpn, b.qpn);
+  char out[8] = {};
+  mem_srv.read(buf + a.wr_id * 64, out, 8);
+  EXPECT_TRUE(std::strcmp(out, "from-c1") == 0 ||
+              std::strcmp(out, "from-c2") == 0);
+}
+
+TEST_F(SrqFixture, RnrStallsReplayWhenSrqRefilled) {
+  // No SRQ slots posted: both sends park.
+  const Addr m1 = mem_c1.alloc(16);
+  mem_c1.write(m1, "late1", 6);
+  const Addr m2 = mem_c2.alloc(16);
+  mem_c2.write(m2, "late2", 6);
+  c1.post_send(qc1, make_send(m1, 0, 6));
+  c2.post_send(qc2, make_send(m2, 0, 6));
+  loop.run();
+  EXPECT_EQ(srv.counters().rnr_stalls, 2u);
+  EXPECT_EQ(recv_cq->completion_count(), 0u);
+
+  post_srq_slot(0);
+  post_srq_slot(1);
+  loop.run();
+  EXPECT_EQ(recv_cq->completion_count(), 2u);
+  char out[8] = {};
+  mem_srv.read(buf, out, 6);
+  EXPECT_TRUE(std::strcmp(out, "late1") == 0 || std::strcmp(out, "late2") == 0);
+}
+
+TEST_F(SrqFixture, NonSrqQpUnaffected) {
+  // A third QP without SRQ keeps using its private recv queue.
+  CompletionQueue* cq3 = srv.create_cq();
+  QueuePair* q3 = srv.create_qp(nullptr, cq3, 16);
+  CompletionQueue* cqc = c1.create_cq();
+  QueuePair* qc3 = c1.create_qp(cqc, nullptr, 16);
+  c1.connect(qc3, srv.id(), q3->qpn);
+  srv.connect(q3, c1.id(), qc3->qpn);
+
+  RecvWqe r;
+  r.wr_id = 99;
+  r.sges = {Sge{buf + 512, 64, mr.lkey}};
+  srv.post_recv(q3, std::move(r));
+  post_srq_slot(0);
+
+  const Addr m = mem_c1.alloc(8);
+  mem_c1.write(m, "priv", 5);
+  c1.post_send(qc3, make_send(m, 0, 5));
+  loop.run();
+
+  EXPECT_EQ(cq3->completion_count(), 1u);
+  EXPECT_EQ(srq->queue.size(), 1u);  // SRQ slot untouched
+  char out[6] = {};
+  mem_srv.read(buf + 512, out, 5);
+  EXPECT_STREQ(out, "priv");
+}
+
+TEST_F(SrqFixture, ManyMessagesInterleaveFairly) {
+  for (uint64_t i = 0; i < 16; ++i) post_srq_slot(i % 8);
+  const Addr m1 = mem_c1.alloc(8);
+  const Addr m2 = mem_c2.alloc(8);
+  for (int i = 0; i < 8; ++i) {
+    c1.post_send(qc1, make_send(m1, 0, 4));
+    c2.post_send(qc2, make_send(m2, 0, 4));
+  }
+  loop.run();
+  EXPECT_EQ(recv_cq->completion_count(), 16u);
+  EXPECT_EQ(srq->queue.size(), 0u);
+  EXPECT_EQ(srv.counters().rnr_stalls, 0u);
+}
+
+}  // namespace
+}  // namespace hyperloop::rdma

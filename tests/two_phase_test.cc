@@ -1,0 +1,249 @@
+#include "core/two_phase.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/hyperloop_group.h"
+#include "core/server.h"
+
+namespace hyperloop::core {
+namespace {
+
+struct TwoPhaseFixture : ::testing::Test {
+  static constexpr int kPartitions = 2;
+
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+  RegionLayout layout = [] {
+    RegionLayout l;
+    l.region_size = 2u << 20;
+    l.log_size = 256 << 10;
+    l.num_locks = 32;
+    return l;
+  }();
+
+  struct Part {
+    std::unique_ptr<HyperLoopGroup> group;
+    std::unique_ptr<ReplicatedWal> wal;
+    std::unique_ptr<GroupLockManager> locks;
+  };
+  std::vector<Part> parts;
+  std::unique_ptr<TwoPhaseCoordinator> coord;
+
+  void SetUp() override {
+    std::vector<TwoPhaseCoordinator::PartitionCtx> ctxs;
+    for (int p = 0; p < kPartitions; ++p) {
+      Part part;
+      HyperLoopGroup::Config gc;
+      gc.region_size = layout.region_size;
+      gc.ring_slots = 128;
+      gc.max_inflight = 32;
+      std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                                   &cluster.server(2)};
+      part.group =
+          std::make_unique<HyperLoopGroup>(cluster.server(3), reps, gc);
+      part.wal = std::make_unique<ReplicatedWal>(*part.group, layout);
+      part.locks = std::make_unique<GroupLockManager>(*part.group, layout,
+                                                      cluster.loop());
+      ctxs.push_back({part.group.get(), part.wal.get(), part.locks.get(),
+                      layout});
+      parts.push_back(std::move(part));
+    }
+    coord = std::make_unique<TwoPhaseCoordinator>(cluster.loop(),
+                                                  std::move(ctxs),
+                                                  TwoPhaseCoordinator::Config{});
+  }
+
+  void run(sim::Duration d = sim::msec(500)) {
+    cluster.loop().run_until(cluster.loop().now() + d);
+  }
+
+  std::vector<uint8_t> bytes(uint64_t v) {
+    std::vector<uint8_t> b(8);
+    std::memcpy(b.data(), &v, 8);
+    return b;
+  }
+  uint64_t db_read(int part, size_t replica, uint64_t off) {
+    uint64_t v = 0;
+    parts[static_cast<size_t>(part)].group->replica_load(
+        replica, layout.db_base() + off, &v, 8);
+    return v;
+  }
+};
+
+TEST_F(TwoPhaseFixture, CrossPartitionCommitAppliesEverywhere) {
+  const uint64_t base = coord->app_data_base();
+  bool committed = false;
+  coord->execute({{0, base + 0, 1, bytes(111)}, {1, base + 64, 2, bytes(222)}},
+                 [&](bool ok) { committed = ok; });
+  run();
+  ASSERT_TRUE(committed);
+  EXPECT_EQ(coord->committed(), 1u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(db_read(0, r, base + 0), 111u);
+    EXPECT_EQ(db_read(1, r, base + 64), 222u);
+  }
+  // Status tables show COMMITTED in both partitions.
+  std::vector<std::pair<uint64_t, uint64_t>> st;
+  coord->scan_status(0, &st);
+  coord->scan_status(1, &st);
+  ASSERT_EQ(st.size(), 2u);
+  for (auto& [id, state] : st) {
+    EXPECT_EQ(state, TwoPhaseCoordinator::kCommitted);
+  }
+}
+
+TEST_F(TwoPhaseFixture, SinglePartitionTxnWorks) {
+  const uint64_t base = coord->app_data_base();
+  bool committed = false;
+  coord->execute({{0, base + 128, 5, bytes(7)}},
+                 [&](bool ok) { committed = ok; });
+  run();
+  ASSERT_TRUE(committed);
+  EXPECT_EQ(db_read(0, 2, base + 128), 7u);
+}
+
+TEST_F(TwoPhaseFixture, ManyConcurrentTxnsAllCommit) {
+  const uint64_t base = coord->app_data_base();
+  int done = 0;
+  const int n = 24;
+  for (int k = 0; k < n; ++k) {
+    coord->execute(
+        {{0, base + static_cast<uint64_t>(k) * 64, static_cast<uint32_t>(k % 8),
+          bytes(static_cast<uint64_t>(k) + 1)},
+         {1, base + static_cast<uint64_t>(k) * 64,
+          static_cast<uint32_t>(k % 8), bytes(static_cast<uint64_t>(k) + 100)}},
+        [&](bool ok) { done += ok ? 1 : 0; });
+  }
+  run(sim::seconds(10));
+  EXPECT_EQ(done, n);
+  for (int k = 0; k < n; k += 5) {
+    EXPECT_EQ(db_read(0, 1, base + static_cast<uint64_t>(k) * 64),
+              static_cast<uint64_t>(k) + 1);
+    EXPECT_EQ(db_read(1, 1, base + static_cast<uint64_t>(k) * 64),
+              static_cast<uint64_t>(k) + 100);
+  }
+}
+
+TEST_F(TwoPhaseFixture, PreparedOnlyTxnIsPresumedAborted) {
+  // Simulate a coordinator crash after prepare: append the prepare record
+  // manually (what prepare_all does) and never commit. The staged bytes
+  // must never reach the application data area.
+  const uint64_t base = coord->app_data_base();
+  const uint64_t txn = 77;
+  std::vector<ReplicatedWal::Entry> entries;
+  std::vector<uint8_t> staging(24, 0);
+  uint32_t count = 1;
+  uint64_t target = base + 512;
+  uint32_t len = 8;
+  std::memcpy(staging.data(), &count, 4);
+  std::memcpy(staging.data() + 8, &target, 8);
+  std::memcpy(staging.data() + 16, &len, 4);
+  // (payload omitted: 8 zero bytes)
+  entries.push_back({coord->staging_offset(txn), staging});
+  std::vector<uint8_t> status(16);
+  std::memcpy(status.data(), &txn, 8);
+  uint64_t prepared = TwoPhaseCoordinator::kPrepared;
+  std::memcpy(status.data() + 8, &prepared, 8);
+  entries.push_back({coord->status_offset(txn), status});
+  ASSERT_TRUE(parts[0].wal->append(entries, [](uint64_t) {}));
+  run();
+  parts[0].wal->execute_and_advance([] {});
+  run();
+
+  // Not committed anywhere -> recovery does NOT roll it forward.
+  EXPECT_EQ(coord->recover_partition(0, {}), 0u);
+  std::vector<std::pair<uint64_t, uint64_t>> st;
+  coord->scan_status(0, &st);
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].second, TwoPhaseCoordinator::kPrepared);
+}
+
+TEST_F(TwoPhaseFixture, CommittedElsewhereRollsForwardFromStaging) {
+  // Txn committed on partition 1 but only prepared on partition 0 (the
+  // coordinator died between the two commit appends). Recovery must roll
+  // partition 0 forward from its durable staging block.
+  const uint64_t base = coord->app_data_base();
+  const uint64_t txn = 33;
+  const uint64_t value = 4242;
+
+  // Partition 0: prepare only.
+  {
+    // Staging block: [count=1][pad] [db_offset][len=8][pad] [value].
+    uint32_t count = 1;
+    uint64_t target = base + 1024;
+    uint32_t len = 8;
+    std::vector<uint8_t> full(32, 0);
+    std::memcpy(full.data(), &count, 4);
+    std::memcpy(full.data() + 8, &target, 8);
+    std::memcpy(full.data() + 16, &len, 4);
+    std::memcpy(full.data() + 24, &value, 8);
+    std::vector<ReplicatedWal::Entry> entries;
+    entries.push_back({coord->staging_offset(txn), full});
+    std::vector<uint8_t> status(16);
+    std::memcpy(status.data(), &txn, 8);
+    uint64_t prepared = TwoPhaseCoordinator::kPrepared;
+    std::memcpy(status.data() + 8, &prepared, 8);
+    entries.push_back({coord->status_offset(txn), status});
+    ASSERT_TRUE(parts[0].wal->append(entries, [](uint64_t) {}));
+    run();
+    parts[0].wal->execute_and_advance([] {});
+    run();
+  }
+  // Partition 1: committed status mark.
+  {
+    std::vector<uint8_t> status(16);
+    std::memcpy(status.data(), &txn, 8);
+    uint64_t comm = TwoPhaseCoordinator::kCommitted;
+    std::memcpy(status.data() + 8, &comm, 8);
+    std::vector<ReplicatedWal::Entry> entries = {
+        {coord->status_offset(txn), status}};
+    ASSERT_TRUE(parts[1].wal->append(entries, [](uint64_t) {}));
+    run();
+    parts[1].wal->execute_and_advance([] {});
+    run();
+  }
+
+  // Scan: txn is committed somewhere.
+  std::vector<std::pair<uint64_t, uint64_t>> st;
+  coord->scan_status(1, &st);
+  ASSERT_EQ(st.size(), 1u);
+  ASSERT_EQ(st[0].second, TwoPhaseCoordinator::kCommitted);
+
+  EXPECT_EQ(coord->recover_partition(0, {txn}), 1u);
+  run();
+  // Rolled forward on every replica of partition 0.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(db_read(0, r, base + 1024), value) << "replica " << r;
+  }
+  st.clear();
+  coord->scan_status(0, &st);
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].second, TwoPhaseCoordinator::kCommitted);
+  // Idempotent.
+  EXPECT_EQ(coord->recover_partition(0, {txn}), 0u);
+}
+
+TEST_F(TwoPhaseFixture, CommittedDataSurvivesFullClusterCrash) {
+  const uint64_t base = coord->app_data_base();
+  bool committed = false;
+  coord->execute({{0, base, 0, bytes(1)}, {1, base, 0, bytes(2)}},
+                 [&](bool ok) { committed = ok; });
+  run();
+  ASSERT_TRUE(committed);
+  for (size_t r = 0; r < 3; ++r) {
+    parts[0].group->replica_server(r).nvm().crash();
+  }
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(db_read(0, r, base), 1u);
+    EXPECT_EQ(db_read(1, r, base), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace hyperloop::core

@@ -1,0 +1,174 @@
+#include "core/txn.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hyperloop_group.h"
+#include "core/server.h"
+
+namespace hyperloop::core {
+namespace {
+
+struct TxnFixture : ::testing::Test {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+  RegionLayout layout = [] {
+    RegionLayout l;
+    l.region_size = 1 << 20;
+    l.log_size = 64 << 10;
+    l.num_locks = 32;
+    return l;
+  }();
+  std::unique_ptr<HyperLoopGroup> group = [this] {
+    HyperLoopGroup::Config gc;
+    gc.region_size = layout.region_size;
+    gc.ring_slots = 128;
+    gc.max_inflight = 32;
+    std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                                 &cluster.server(2)};
+    return std::make_unique<HyperLoopGroup>(cluster.server(3), reps, gc);
+  }();
+  ReplicatedWal wal{*group, layout};
+  GroupLockManager locks{*group, layout, cluster.loop()};
+  TransactionManager txns{*group, wal, locks, cluster.loop()};
+
+  void run(sim::Duration d = sim::msec(500)) {
+    cluster.loop().run_until(cluster.loop().now() + d);
+  }
+
+  std::vector<uint8_t> bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+  }
+  std::string db_read(size_t replica, uint64_t off, size_t len) {
+    std::string out(len, '\0');
+    group->replica_load(replica, layout.db_base() + off, out.data(),
+                        static_cast<uint32_t>(len));
+    return out;
+  }
+};
+
+TEST_F(TxnFixture, CommitAppliesAtomically) {
+  bool committed = false;
+  txns.execute({{0, bytes("X=1;")}, {128, bytes("Y=2;")}}, {0, 1},
+               [&](bool ok) { committed = ok; });
+  run();
+  ASSERT_TRUE(committed);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(db_read(i, 0, 4), "X=1;");
+    EXPECT_EQ(db_read(i, 128, 4), "Y=2;");
+  }
+  EXPECT_EQ(txns.stats().committed, 1u);
+  // Locks released everywhere.
+  uint64_t w = 0;
+  group->replica_load(0, layout.lock_offset(0), &w, 8);
+  EXPECT_EQ(w, 0u);
+}
+
+TEST_F(TxnFixture, CommittedDataSurvivesCrash) {
+  bool committed = false;
+  txns.execute({{256, bytes("durable-txn")}}, {2},
+               [&](bool ok) { committed = ok; });
+  run();
+  ASSERT_TRUE(committed);
+  for (size_t i = 0; i < 3; ++i) {
+    group->replica_server(i).nvm().crash();
+    EXPECT_EQ(db_read(i, 256, 11), "durable-txn");
+  }
+}
+
+TEST_F(TxnFixture, ConflictingTxnsSerialize) {
+  // Two transactions on the same lock both increment a counter.
+  uint64_t init = 0;
+  group->client_store(layout.db_base() + 512, &init, 8);
+  int done = 0;
+  auto increment = [&] {
+    uint64_t cur = 0;
+    group->client_load(layout.db_base() + 512, &cur, 8);
+    ++cur;
+    std::vector<uint8_t> b(8);
+    std::memcpy(b.data(), &cur, 8);
+    txns.execute({{512, b}}, {5}, [&](bool ok) {
+      ASSERT_TRUE(ok);
+      ++done;
+    });
+  };
+  // Chain them so each reads the prior value (client-side serialization),
+  // while locks guarantee replica-side isolation.
+  txns.execute({{512, bytes("\1\0\0\0\0\0\0\0")}}, {5}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    ++done;
+    increment();
+  });
+  run();
+  EXPECT_EQ(done, 2);
+  uint64_t v = 0;
+  group->replica_load(1, layout.db_base() + 512, &v, 8);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_F(TxnFixture, ManyConcurrentDisjointTxns) {
+  const int n = 64;
+  int committed = 0;
+  for (int k = 0; k < n; ++k) {
+    uint64_t v = static_cast<uint64_t>(k) + 7;
+    std::vector<uint8_t> b(8);
+    std::memcpy(b.data(), &v, 8);
+    txns.execute({{static_cast<uint64_t>(k) * 64, b}},
+                 {static_cast<uint32_t>(k % 32)},
+                 [&](bool ok) { committed += ok ? 1 : 0; });
+  }
+  run(sim::seconds(5));
+  EXPECT_EQ(committed, n);
+  for (int k = 0; k < n; k += 7) {
+    uint64_t v = 0;
+    group->replica_load(2, layout.db_base() + static_cast<uint64_t>(k) * 64,
+                        &v, 8);
+    EXPECT_EQ(v, static_cast<uint64_t>(k) + 7);
+  }
+}
+
+TEST_F(TxnFixture, LogBackpressureRetriesAndSucceeds) {
+  // Transactions big enough that only a few fit in the log at once.
+  const int n = 20;
+  int committed = 0;
+  std::vector<uint8_t> big(6000, 0xCD);
+  for (int k = 0; k < n; ++k) {
+    txns.execute({{static_cast<uint64_t>(k % 4) * 8192, big}},
+                 {static_cast<uint32_t>(k % 4)},
+                 [&](bool ok) { committed += ok ? 1 : 0; });
+  }
+  run(sim::seconds(10));
+  EXPECT_EQ(committed, n);
+}
+
+TEST_F(TxnFixture, CrashBeforeExecuteIsRecoveredByReplay) {
+  // Append a record manually (commit), crash a replica before execution,
+  // replay must reconstruct the DB state.
+  bool appended = false;
+  ASSERT_TRUE(
+      wal.append({{64, bytes("replayed")}}, [&](uint64_t) { appended = true; }));
+  run();
+  ASSERT_TRUE(appended);
+
+  group->replica_server(2).nvm().crash();
+  const rdma::Addr base = group->replica_region_base(2);
+  Server& r = group->replica_server(2);
+  EXPECT_NE(db_read(2, 64, 8), "replayed");  // not executed yet
+  ReplicatedWal::replay(
+      layout,
+      [&](uint64_t off, void* dst, uint32_t len) {
+        r.mem().read(base + off, dst, len);
+      },
+      [&](uint64_t off, const void* src, uint32_t len) {
+        r.mem().write(base + off, src, len);
+      });
+  EXPECT_EQ(db_read(2, 64, 8), "replayed");
+}
+
+}  // namespace
+}  // namespace hyperloop::core
