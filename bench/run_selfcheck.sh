@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the perf self-check benchmarks and writes BENCH_selfcheck.json at
+# the repo root (machine-readable google-benchmark JSON, consumed by CI
+# and by EXPERIMENTS.md updates).
+#
+# Usage: bench/run_selfcheck.sh [build-dir] [out-file]
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+OUT=${2:-"$ROOT/BENCH_selfcheck.json"}
+
+BIN="$BUILD/bench/perf_selfcheck"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD --target perf_selfcheck)" >&2
+  exit 1
+fi
+
+# --benchmark_min_time takes a bare number (seconds) on the system
+# google-benchmark; newer releases also accept the "1s" form.
+"$BIN" \
+  --benchmark_min_time=1 \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "wrote $OUT"

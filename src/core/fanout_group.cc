@@ -328,9 +328,11 @@ rdma::WqeDescriptor FanoutGroup::backup_ack_desc(size_t b, uint64_t seq,
   return d;
 }
 
-std::vector<uint8_t> FanoutGroup::build_blob(uint64_t seq, const OpSpec& op) {
+const std::vector<uint8_t>& FanoutGroup::build_blob(uint64_t seq,
+                                                    const OpSpec& op) {
   const size_t K = backups_.size();
-  std::vector<uint8_t> blob(3 * kDescBytes * (1 + 2 * K));
+  std::vector<uint8_t>& blob = blob_scratch_;
+  blob.assign(3 * kDescBytes * (1 + 2 * K), 0);
   uint8_t* out = blob.data();
   auto put = [&out](WqeDescriptor d) {
     d.active = 1;
@@ -423,10 +425,10 @@ void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
     // Clear the result slot so skipped replicas (and a skipped primary)
     // report 0 rather than a stale value from a previous ring lap.
     const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
-    std::vector<uint8_t> zeros(ack_stride, 0);
+    zero_scratch_.assign(ack_stride, 0);
     client_.mem().write(
         ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
-        zeros.data(), ack_stride);
+        zero_scratch_.data(), ack_stride);
   }
 
   // Client-side direct work against the primary.
@@ -459,7 +461,7 @@ void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
   }
 
   // Metadata SEND that triggers the primary's fan-out.
-  const auto blob = build_blob(seq, op);
+  const auto& blob = build_blob(seq, op);
   const Addr slot =
       client_staging_ + (seq % (cfg_.max_inflight * 2)) * client_staging_slot_;
   client_.mem().write(slot, blob.data(), blob.size());

@@ -139,7 +139,10 @@ class FanoutGroup final : public ReplicationGroup {
     uint64_t expected = 0, desired = 0;
     std::vector<bool> exec;
   };
-  std::vector<uint8_t> build_blob(uint64_t seq, const OpSpec& op);
+  /// Fills and returns blob_scratch_ (valid until the next call) — the
+  /// blob is memcpy'd into staging memory immediately, so per-op vector
+  /// allocations on this hot path would be pure churn.
+  const std::vector<uint8_t>& build_blob(uint64_t seq, const OpSpec& op);
   rdma::WqeDescriptor backup_ack_desc(size_t b, uint64_t seq,
                                       const OpSpec& op);
   /// on_acks receives the sequence number the operation was issued as
@@ -167,6 +170,8 @@ class FanoutGroup final : public ReplicationGroup {
   uint32_t inflight_ = 0;
   std::unordered_map<uint32_t, PendingOp> pending_;
   std::deque<std::function<void()>> waiting_;
+  std::vector<uint8_t> blob_scratch_;  ///< reused by build_blob per issue()
+  std::vector<uint8_t> zero_scratch_;  ///< reused ack-slot clear (gCAS)
   bool stopped_ = false;
 };
 

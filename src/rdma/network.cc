@@ -41,10 +41,15 @@ void Network::transmit(Packet pkt) {
     ++packets_dropped_;
     return;  // eaten by the fabric; RC retransmission recovers
   }
-  loop_.schedule_at(arrival, [this, p = std::move(pkt)]() mutable {
+  auto deliver = [this, p = std::move(pkt)]() mutable {
     ++packets_delivered_;
     endpoints_[p.dst_nic].on_packet(std::move(p));
-  });
+  };
+  // Fabric delivery is scheduled once per packet per hop; keep the closure
+  // within the event loop's inline storage so it never heap-allocates.
+  static_assert(sizeof(deliver) <= sim::EventLoop::kInlineCallbackBytes,
+                "packet delivery closure must stay inline in the event loop");
+  loop_.schedule_at(arrival, std::move(deliver));
 }
 
 void Network::transmit_datagram(NicId src, NicId dst,

@@ -82,11 +82,13 @@ void Nic::grant_ownership(QueuePair* qp, uint64_t slot_seq) {
 
 void Nic::post_recv(QueuePair* qp, RecvWqe wqe) {
   qp->recv_queue.push_back(std::move(wqe));
-  // Replay a receiver-not-ready packet if one is parked.
+  // Replay a receiver-not-ready packet if one is parked. It already
+  // passed the PSN gate when it first arrived, so it must bypass
+  // psn_accept (which would now misread it as a duplicate).
   if (!qp->stalled_inbound.empty()) {
     Packet p = std::move(qp->stalled_inbound.front());
     qp->stalled_inbound.pop_front();
-    handle_packet(std::move(p));
+    dispatch_packet(std::move(p));
   }
 }
 
@@ -109,7 +111,7 @@ void Nic::post_srq_recv(SharedReceiveQueue* srq, RecvWqe wqe) {
     if (!qp->stalled_inbound.empty()) {
       Packet p = std::move(qp->stalled_inbound.front());
       qp->stalled_inbound.pop_front();
-      handle_packet(std::move(p));
+      dispatch_packet(std::move(p));  // PSN was accepted on first arrival
       return;
     }
   }
@@ -267,7 +269,7 @@ void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
     case Opcode::kWriteImm:
     case Opcode::kSend: {
       const size_t total = size_t{w.d.length} + w.d.aux_length;
-      p.payload.resize(total);
+      p.payload.resize_uninit(total);
       if (w.d.length > 0) {
         mem_.read(w.d.local_addr, p.payload.data(), w.d.length);
       }
@@ -329,14 +331,23 @@ void Nic::on_packet(Packet p) {
                              qp_context_touch(p.dst_qpn);
   rx_busy_until_ = std::max(loop_.now(), rx_busy_until_) + cost;
   ++counters_.packets_rx;
-  loop_.schedule_at(rx_busy_until_,
-                    [this, pkt = std::move(p)]() mutable {
-                      handle_packet(std::move(pkt));
-                    });
+  auto deliver = [this, pkt = std::move(p)]() mutable {
+    handle_packet(std::move(pkt));
+  };
+  // The per-packet delivery closure is the hottest schedule in the whole
+  // simulator; it must fit the event loop's inline callback storage or
+  // every hop heap-allocates.
+  static_assert(sizeof(deliver) <= sim::EventLoop::kInlineCallbackBytes,
+                "packet delivery closure must stay inline in the event loop");
+  loop_.schedule_at(rx_busy_until_, std::move(deliver));
 }
 
 void Nic::handle_packet(Packet p) {
   if (p.is_request() && !psn_accept(p)) return;
+  dispatch_packet(std::move(p));
+}
+
+void Nic::dispatch_packet(Packet p) {
   switch (p.type) {
     case Packet::Type::kSend:
     case Packet::Type::kWriteImm: {
@@ -437,7 +448,7 @@ void Nic::responder_write(Packet& p) {
 
 void Nic::responder_read(Packet& p) {
   CqStatus status = CqStatus::kSuccess;
-  std::vector<uint8_t> data;
+  PayloadBuf data;
   if (!mrs_.check_remote(p.rkey, p.remote_addr, p.length, kRemoteRead)) {
     status = CqStatus::kRemoteAccessError;
     ++counters_.remote_access_errors;
@@ -447,7 +458,7 @@ void Nic::responder_read(Packet& p) {
     if (nvm_ != nullptr) nvm_->persist_all();
     ++counters_.flushes;
   } else {
-    data.resize(p.length);
+    data.resize_uninit(p.length);
     mem_.read(p.remote_addr, data.data(), p.length);
   }
   send_response(p, Packet::Type::kReadResp, std::move(data),
@@ -466,14 +477,15 @@ void Nic::responder_cas(Packet& p) {
       mem_.write(p.remote_addr, &p.swap, sizeof(p.swap));
     }
   }
-  std::vector<uint8_t> payload(sizeof(old));
+  PayloadBuf payload;
+  payload.resize_uninit(sizeof(old));
   std::memcpy(payload.data(), &old, sizeof(old));
   send_response(p, Packet::Type::kCasResp, std::move(payload),
                 static_cast<uint8_t>(status));
 }
 
 void Nic::send_response(const Packet& req, Packet::Type type,
-                        std::vector<uint8_t> payload, uint8_t status) {
+                        PayloadBuf payload, uint8_t status) {
   Packet resp;
   resp.type = type;
   resp.src_nic = id_;
@@ -573,15 +585,26 @@ void Nic::track_request(QueuePair* qp, const Packet& p) {
 }
 
 void Nic::arm_retry_timer(QueuePair* qp) {
+  // Capped exponential backoff: double the interval per consecutive
+  // no-progress round.
+  const uint32_t shift = std::min<uint32_t>(qp->retry_rounds, 20);
+  sim::Duration interval = cfg_.retransmit_timeout << shift;
+  if (interval > cfg_.max_retransmit_backoff ||
+      interval < cfg_.retransmit_timeout) {  // shift overflow guard
+    interval = cfg_.max_retransmit_backoff;
+  }
   qp->retry_timer = loop_.schedule_after(
-      cfg_.retransmit_timeout, [this, qpn = qp->qpn] { retry_fire(qpn); });
+      interval, [this, qpn = qp->qpn] { retry_fire(qpn); });
 }
 
 void Nic::retry_fire(uint32_t qpn) {
   QueuePair* q = qp(qpn);
   if (q == nullptr) return;
   q->retry_timer = 0;
-  if (q->unacked.empty()) return;
+  if (q->unacked.empty()) {
+    q->retry_rounds = 0;
+    return;
+  }
   const sim::Time stale_before = loop_.now() - cfg_.retransmit_timeout;
   if (q->unacked.front().first <= stale_before) {
     // Go-back-N: resend the whole unacknowledged window, in PSN order.
@@ -592,17 +615,35 @@ void Nic::retry_fire(uint32_t qpn) {
       counters_.bytes_tx += pkt.wire_bytes();
       net_.transmit(pkt);
     }
+    ++q->retry_rounds;
+  } else {
+    // The window head made progress since the timer was armed.
+    q->retry_rounds = 0;
   }
-  arm_retry_timer(q);
+  if (cfg_.rnr_retry_limit == 0 || q->retry_rounds < cfg_.rnr_retry_limit) {
+    arm_retry_timer(q);
+  }
+  // Else: stop retransmitting. The peer is parked receiver-not-ready and
+  // will deliver + ACK once a RECV is posted; any ACK progress or new
+  // post_send re-arms the timer (cumulative_ack / track_request).
 }
 
 void Nic::cumulative_ack(QueuePair* q, uint64_t psn) {
+  bool progressed = false;
   while (!q->unacked.empty() && q->unacked.front().second.psn <= psn) {
     q->unacked.pop_front();
+    progressed = true;
   }
-  if (q->unacked.empty() && q->retry_timer != 0) {
-    loop_.cancel(q->retry_timer);
-    q->retry_timer = 0;
+  if (progressed) q->retry_rounds = 0;
+  if (q->unacked.empty()) {
+    if (q->retry_timer != 0) {
+      loop_.cancel(q->retry_timer);
+      q->retry_timer = 0;
+    }
+  } else if (progressed && q->retry_timer == 0) {
+    // Timer was parked after exhausting the retry budget; progress means
+    // the responder is alive again, so resume guarding the window.
+    arm_retry_timer(q);
   }
 }
 

@@ -49,6 +49,17 @@ class Nic {
     sim::Duration wait_cost = sim::nsec(50);
     /// RC retransmission timeout (go-back-N on loss).
     sim::Duration retransmit_timeout = sim::usec(100);
+    /// Capped exponential backoff: each consecutive no-progress
+    /// retransmission round doubles the retry timer, up to this cap.
+    sim::Duration max_retransmit_backoff = sim::msec(10);
+    /// After this many consecutive no-progress rounds the requester stops
+    /// re-arming the retry timer (receiver-not-ready parking means the
+    /// responder delivers and ACKs once a RECV is posted; a later
+    /// post_send or ACK progress re-arms and resets the backoff). This
+    /// bounds the event-loop work a stalled peer can generate — without
+    /// it an RNR-parked request retransmits forever and run() never
+    /// drains. 0 = retry forever.
+    uint32_t rnr_retry_limit = 7;
     /// On-NIC connection-context cache (§7: "the scalability of RDMA NICs
     /// decreases with the number of active write-QPs"). Touching a QP
     /// outside the `qp_cache_entries` most-recently-used contexts fetches
@@ -157,13 +168,17 @@ class Nic {
   // --- receive side ---
   void on_packet(Packet p);
   void handle_packet(Packet p);
+  // Post-PSN-gate delivery. Called directly when replaying a parked
+  // receiver-not-ready packet (whose PSN was already accepted when it
+  // first arrived and parked).
+  void dispatch_packet(Packet p);
   void responder_send(Packet& p, QueuePair* dst);
   void responder_write(Packet& p);
   void responder_read(Packet& p);
   void responder_cas(Packet& p);
   void requester_response(Packet& p);
   void send_response(const Packet& req, Packet::Type type,
-                     std::vector<uint8_t> payload, uint8_t status);
+                     PayloadBuf payload, uint8_t status);
 
   // Wakes queues stalled at an inactive head WQE whose slot bytes were
   // just written by a DMA.

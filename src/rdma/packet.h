@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "rdma/memory.h"
+#include "rdma/payload_buf.h"
 
 namespace hyperloop::rdma {
 
@@ -53,7 +53,9 @@ struct Packet {
   uint64_t swap = 0;
   uint8_t status = 0;  ///< responses: CqStatus
 
-  std::vector<uint8_t> payload;
+  /// Pooled and refcounted: copying a Packet (retransmit window, response
+  /// cache, in-flight delivery) shares one block instead of copying bytes.
+  PayloadBuf payload;
 
   /// Bytes this packet occupies on the wire (payload + header estimate).
   size_t wire_bytes() const { return payload.size() + 64; }

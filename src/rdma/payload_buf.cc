@@ -1,0 +1,97 @@
+#include "rdma/payload_buf.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace hyperloop::rdma {
+
+namespace {
+
+// Size classes are powers of two from 64B up to 1GiB. Class i holds
+// blocks of 64 << i payload bytes.
+constexpr size_t kMinClassBytes = 64;
+constexpr int kNumClasses = 25;
+
+struct Pool {
+  void* free_heads[kNumClasses] = {};
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t free_blocks = 0;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+int class_for(size_t n) {
+  const size_t cap = n <= kMinClassBytes ? kMinClassBytes : std::bit_ceil(n);
+  const int cls = std::countr_zero(cap) - std::countr_zero(kMinClassBytes);
+  return cls;
+}
+
+size_t class_bytes(int cls) { return kMinClassBytes << cls; }
+
+}  // namespace
+
+PayloadBuf::Block* PayloadBuf::acquire(size_t n) {
+  Pool& p = pool();
+  const int cls = class_for(n);
+  Block* b;
+  if (p.free_heads[cls] != nullptr) {
+    b = static_cast<Block*>(p.free_heads[cls]);
+    p.free_heads[cls] = b->next_free;
+    --p.free_blocks;
+    ++p.hits;
+  } else {
+    b = static_cast<Block*>(
+        ::operator new(sizeof(Block) + class_bytes(cls)));
+    ++p.misses;
+  }
+  b->refs = 1;
+  b->size = static_cast<uint32_t>(n);
+  b->size_class = static_cast<uint8_t>(cls);
+  b->next_free = nullptr;
+  return b;
+}
+
+void PayloadBuf::release_block(Block* b) {
+  if (--b->refs != 0) return;
+  Pool& p = pool();
+  b->next_free = static_cast<Block*>(p.free_heads[b->size_class]);
+  p.free_heads[b->size_class] = b;
+  ++p.free_blocks;
+}
+
+void PayloadBuf::resize(size_t n) {
+  resize_uninit(n);
+  if (b_ != nullptr) std::memset(block_data(b_), 0, n);
+}
+
+void PayloadBuf::resize_uninit(size_t n) {
+  release();
+  if (n == 0) return;
+  b_ = acquire(n);
+}
+
+uint64_t PayloadBuf::pool_misses() { return pool().misses; }
+uint64_t PayloadBuf::pool_hits() { return pool().hits; }
+size_t PayloadBuf::pool_free_blocks() { return pool().free_blocks; }
+
+void PayloadBuf::pool_trim() {
+  Pool& p = pool();
+  for (int c = 0; c < kNumClasses; ++c) {
+    Block* b = static_cast<Block*>(p.free_heads[c]);
+    while (b != nullptr) {
+      Block* next = b->next_free;
+      ::operator delete(b);
+      b = next;
+      --p.free_blocks;
+    }
+    p.free_heads[c] = nullptr;
+  }
+}
+
+}  // namespace hyperloop::rdma

@@ -1,0 +1,110 @@
+// Pooled, refcounted packet payload buffers.
+//
+// Every simulated RDMA hop used to copy a std::vector<uint8_t> payload:
+// the NIC gathered into a fresh vector, Network::transmit copied it into
+// the delivery closure, the RC transport kept one copy in the unacked
+// window and another in the responder's duplicate-response cache. With a
+// 3-replica chain that is ~4 allocations and ~4 full copies per hop.
+//
+// PayloadBuf replaces those with one refcounted block drawn from a
+// size-class pool: copying a Packet bumps a refcount instead of copying
+// bytes, and releasing the last reference returns the block to a free
+// list instead of the allocator. The simulation is single-threaded (one
+// EventLoop drives all NICs), so refcounts and pool free lists are plain
+// integers/pointers — no atomics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperloop::rdma {
+
+/// A shared, pooled byte buffer. Value semantics: copies share the block
+/// (refcount), destruction releases it back to the pool. Writers must
+/// fill the buffer before sharing it; after that, treat contents as
+/// immutable (all sharers observe the same block).
+class PayloadBuf {
+ public:
+  PayloadBuf() = default;
+  PayloadBuf(const PayloadBuf& o) : b_(o.b_) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  PayloadBuf(PayloadBuf&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  PayloadBuf& operator=(const PayloadBuf& o) {
+    if (o.b_ != nullptr) ++o.b_->refs;
+    release();
+    b_ = o.b_;
+    return *this;
+  }
+  PayloadBuf& operator=(PayloadBuf&& o) noexcept {
+    if (this != &o) {
+      release();
+      b_ = o.b_;
+      o.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~PayloadBuf() { release(); }
+
+  /// Detaches from any shared block and acquires a fresh, zero-filled
+  /// exclusive block of `n` bytes (n == 0 releases to empty).
+  void resize(size_t n);
+
+  /// Like resize() but leaves the bytes uninitialized — for gather paths
+  /// that overwrite the whole buffer immediately.
+  void resize_uninit(size_t n);
+
+  /// Drops this reference (block returns to the pool when unshared).
+  void reset() { release(); }
+
+  uint8_t* data() { return b_ == nullptr ? nullptr : block_data(b_); }
+  const uint8_t* data() const {
+    return b_ == nullptr ? nullptr : block_data(b_);
+  }
+  size_t size() const { return b_ == nullptr ? 0 : b_->size; }
+  bool empty() const { return size() == 0; }
+
+  /// True when both handles reference the same underlying block.
+  bool shares_with(const PayloadBuf& o) const {
+    return b_ != nullptr && b_ == o.b_;
+  }
+
+  /// Number of handles sharing this block (0 for an empty handle).
+  uint32_t ref_count() const { return b_ == nullptr ? 0 : b_->refs; }
+
+  // --- pool introspection (perf gates / tests) ---
+  /// Blocks ever obtained from the allocator (pool misses).
+  static uint64_t pool_misses();
+  /// Blocks handed out from a free list (pool hits).
+  static uint64_t pool_hits();
+  /// Blocks currently parked on free lists.
+  static size_t pool_free_blocks();
+  /// Frees all pooled blocks (test isolation).
+  static void pool_trim();
+
+ private:
+  struct Block {
+    uint32_t refs;
+    uint32_t size;
+    uint8_t size_class;
+    Block* next_free;
+  };
+  // Payload bytes live immediately after the header.
+  static uint8_t* block_data(Block* b) {
+    return reinterpret_cast<uint8_t*>(b + 1);
+  }
+
+  static Block* acquire(size_t n);
+  static void release_block(Block* b);
+
+  void release() {
+    if (b_ != nullptr) {
+      release_block(b_);
+      b_ = nullptr;
+    }
+  }
+
+  Block* b_ = nullptr;
+};
+
+}  // namespace hyperloop::rdma

@@ -68,6 +68,9 @@ struct QueuePair {
   /// PSN order, for go-back-N retransmission.
   std::deque<std::pair<sim::Time, Packet>> unacked;
   sim::EventId retry_timer = 0;
+  /// Consecutive retransmission rounds without ACK progress; drives the
+  /// capped exponential backoff and the receiver-not-ready retry budget.
+  uint32_t retry_rounds = 0;
   /// Responder: recent responses keyed by request PSN, replayed when a
   /// duplicate request arrives (lost-response recovery).
   std::map<uint64_t, Packet> resp_cache;

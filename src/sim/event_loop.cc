@@ -1,47 +1,77 @@
 #include "sim/event_loop.h"
 
-#include <utility>
+#include <algorithm>
 
 namespace hyperloop::sim {
 
-EventId EventLoop::schedule_at(Time t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, seq_++, id});
-  live_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
-  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
-}
-
-bool EventLoop::cancel(EventId id) { return live_.erase(id) > 0; }
-
-bool EventLoop::pop_next(Entry* out) {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (live_.count(e.id) != 0) {
-      *out = e;
-      return true;
-    }
+EventLoop::~EventLoop() {
+  // Destroy callbacks of events still pending (cancelled slots already
+  // released theirs eagerly).
+  for (uint32_t idx = 0; idx < next_slot_; ++idx) {
+    Slot& s = slot(idx);
+    if (s.state == Slot::kPending) destroy_callback(s);
   }
-  return false;
+}
+
+bool EventLoop::cancel(EventId id) {
+  const uint32_t idx = static_cast<uint32_t>(id);
+  if (idx >= next_slot_) return false;
+  Slot& s = slot(idx);
+  if (s.state != Slot::kPending || s.gen != static_cast<uint32_t>(id >> 32)) {
+    return false;
+  }
+  // Lazy cancel: release the callback now (frees captured resources), but
+  // leave the heap entry in place; it is skipped and recycled when popped.
+  destroy_callback(s);
+  s.state = Slot::kCancelled;
+  --live_;
+  return true;
+}
+
+void EventLoop::heap_pop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) return;
+  size_t i = 0;
+  for (;;) {
+    const size_t first = i * 4 + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t end = std::min(first + 4, n);
+    for (size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 uint64_t EventLoop::run() {
   stopped_ = false;
   uint64_t n = 0;
-  Entry e;
-  while (!stopped_ && pop_next(&e)) {
-    now_ = e.time;
-    auto it = live_.find(e.id);
-    auto fn = std::move(it->second);
-    live_.erase(it);
-    fn();
-    ++n;
+  while (!stopped_ && !heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    // Chunks are address-stable, so callbacks may schedule (growing the
+    // slab/heap) without invalidating `s` or its storage.
+    Slot& s = slot(top.idx);
+    heap_pop();
+    if (s.state == Slot::kCancelled) {
+      recycle(s, top.idx);
+      continue;  // lazy cancel: skip the stale entry
+    }
+    now_ = top.time;
+    // Mark fired before invoking so a self-cancel inside the callback
+    // reports false (matches the previous map-erase-before-call behavior).
+    s.state = Slot::kFiring;
+    --live_;
+    s.invoke(s.storage);
+    destroy_callback(s);
+    recycle(s, top.idx);
     ++executed_;
+    ++n;
   }
   return n;
 }
@@ -49,20 +79,24 @@ uint64_t EventLoop::run() {
 uint64_t EventLoop::run_until(Time deadline) {
   stopped_ = false;
   uint64_t n = 0;
-  Entry e;
-  while (!stopped_ && pop_next(&e)) {
-    if (e.time > deadline) {
-      // Not yet due: put it back and stop.
-      heap_.push(e);
-      break;
+  while (!stopped_ && !heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    Slot& s = slot(top.idx);
+    if (s.state == Slot::kCancelled) {
+      heap_pop();
+      recycle(s, top.idx);
+      continue;
     }
-    now_ = e.time;
-    auto it = live_.find(e.id);
-    auto fn = std::move(it->second);
-    live_.erase(it);
-    fn();
-    ++n;
+    if (top.time > deadline) break;  // not yet due; leave it pending
+    heap_pop();
+    now_ = top.time;
+    s.state = Slot::kFiring;
+    --live_;
+    s.invoke(s.storage);
+    destroy_callback(s);
+    recycle(s, top.idx);
     ++executed_;
+    ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;

@@ -6,12 +6,33 @@
 // guaranteed by (a) a single-threaded loop and (b) FIFO tie-breaking among
 // events scheduled for the same instant (via a monotonically increasing
 // sequence number).
+//
+// Hot-path design (zero steady-state allocation):
+//   * Event records live in a chunked slab of fixed-size slots. Slot
+//     addresses are stable (chunks never move), so callbacks may schedule
+//     further events while running without invalidating their own storage.
+//   * An EventId packs (generation << 32 | slot index). cancel() is O(1):
+//     index into the slab, compare generations — no hashing, no map.
+//     Generations are bumped when a slot is recycled, so a stale id for a
+//     reused slot is rejected.
+//   * Pending events are ordered by a 4-ary min-heap of (time, seq, slot)
+//     entries. 4-ary halves tree depth versus binary, and sift steps stay
+//     inside one cache line of entries.
+//   * Cancellation is lazy: the slot is marked dead (its callback is
+//     destroyed eagerly to release captured resources) and the heap entry
+//     is skipped and recycled when it surfaces.
+//   * Callbacks are stored inline in the slot when they fit
+//     kInlineCallbackBytes (covers every capture in the simulator's hot
+//     paths, including full Packet captures); larger callables fall back
+//     to one heap allocation, counted in callback_heap_allocs().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -19,6 +40,8 @@
 namespace hyperloop::sim {
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
+/// Packs (generation << 32 | slot index); never 0, so 0 can be used as a
+/// "no event" sentinel by callers.
 using EventId = uint64_t;
 
 /// A single-threaded, deterministic discrete-event loop.
@@ -29,9 +52,15 @@ using EventId = uint64_t;
 /// stay in the heap but are skipped when popped.
 class EventLoop {
  public:
+  /// Callbacks whose size is <= this are stored inline in the slab (no
+  /// heap allocation). Sized so a lambda capturing [this, Packet] in the
+  /// RDMA delivery path fits.
+  static constexpr size_t kInlineCallbackBytes = 112;
+
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -39,10 +68,24 @@ class EventLoop {
   /// Schedules `fn` to run at absolute simulated time `t`.
   /// Scheduling in the past is clamped to `now()` (fires "immediately",
   /// after already-pending events at `now()`).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
+    if (t < now_) t = now_;
+    const uint32_t idx = alloc_slot();
+    Slot& s = slot(idx);
+    emplace_callback(s, std::forward<F>(fn));
+    s.state = Slot::kPending;
+    heap_push(HeapEntry{t, seq_++, idx});
+    ++live_;
+    return (uint64_t{s.gen} << 32) | idx;
+  }
 
   /// Schedules `fn` to run `delay` nanoseconds from now.
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(Duration delay, F&& fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay),
+                       std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Returns true if the event existed and had
   /// not yet fired; false otherwise (already fired or already cancelled).
@@ -63,36 +106,144 @@ class EventLoop {
   void stop() { stopped_ = true; }
 
   /// Number of live (not cancelled) pending events.
-  size_t pending() const { return live_.size(); }
+  size_t pending() const { return live_; }
 
   /// Total events executed since construction.
   uint64_t executed() const { return executed_; }
 
+  /// Callbacks too large for inline slot storage that fell back to a heap
+  /// allocation (performance hook; hot paths should keep this at 0).
+  uint64_t callback_heap_allocs() const { return heap_cb_allocs_; }
+
+  /// Slots ever materialized in the slab (capacity watermark).
+  size_t slab_slots() const { return next_slot_; }
+
  private:
-  struct Entry {
-    Time time;
-    uint64_t seq;
-    EventId id;
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+
+  struct Slot {
+    enum State : uint8_t { kFree, kPending, kCancelled, kFiring };
+    void (*invoke)(void*) = nullptr;
+    /// Destroys the stored callable; nullptr when trivially destructible
+    /// (skips an indirect call on the fire path).
+    void (*destroy)(void*) = nullptr;
+    uint32_t gen = 1;
+    uint8_t state = kFree;
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
   };
 
-  // Pops heap entries until a live one is found. Returns false when the
-  // heap holds only cancelled entries (or nothing).
-  bool pop_next(Entry* out);
+  struct HeapEntry {
+    Time time;
+    uint64_t seq;
+    uint32_t idx;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // First-chunk fast path: simulations rarely exceed kChunkSize live
+  // events, and the branch predicts perfectly, replacing two dependent
+  // pointer loads with one.
+  Slot& slot(uint32_t idx) {
+    if (idx < kChunkSize) [[likely]] return chunk0_[idx];
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+  const Slot& slot(uint32_t idx) const {
+    if (idx < kChunkSize) [[likely]] return chunk0_[idx];
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+
+  static constexpr uint32_t kNoSlot = ~0u;
+
+  uint32_t alloc_slot() {
+    // One-deep cache in front of the free list: the dominant pattern is a
+    // callback rescheduling itself, which reuses the slot just recycled
+    // without touching the vector.
+    if (slot_cache_ != kNoSlot) {
+      const uint32_t idx = slot_cache_;
+      slot_cache_ = kNoSlot;
+      return idx;
+    }
+    if (!free_.empty()) {
+      const uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    const uint32_t idx = next_slot_++;
+    if ((idx >> kChunkShift) == chunks_.size()) {
+      chunks_.emplace_back(new Slot[kChunkSize]);
+      if (chunks_.size() == 1) chunk0_ = chunks_[0].get();
+    }
+    return idx;
+  }
+
+  template <typename F>
+  void emplace_callback(Slot& s, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+      s.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+      if constexpr (std::is_trivially_destructible_v<Fn>) {
+        s.destroy = nullptr;
+      } else {
+        s.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+      }
+    } else {
+      ++heap_cb_allocs_;
+      Fn* obj = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(s.storage)) Fn*(obj);
+      s.invoke = [](void* p) { (**static_cast<Fn**>(p))(); };
+      s.destroy = [](void* p) { delete *static_cast<Fn**>(p); };
+    }
+  }
+
+  void destroy_callback(Slot& s) {
+    if (s.destroy != nullptr) {
+      s.destroy(s.storage);
+      s.destroy = nullptr;
+    }
+  }
+
+  void recycle(Slot& s, uint32_t idx) {
+    s.state = Slot::kFree;
+    if (++s.gen == 0) s.gen = 1;  // keep ids nonzero after wrap
+    if (slot_cache_ == kNoSlot) {
+      slot_cache_ = idx;
+    } else {
+      free_.push_back(idx);
+    }
+  }
+
+  void heap_push(HeapEntry e) {
+    heap_.push_back(e);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const size_t parent = (i - 1) >> 2;
+      if (!earlier(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void heap_pop();
 
   Time now_ = 0;
   uint64_t seq_ = 0;
-  EventId next_id_ = 1;
   bool stopped_ = false;
   uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  // id -> closure; erased on cancel so stale heap entries are skipped.
-  std::unordered_map<EventId, std::function<void()>> live_;
+  size_t live_ = 0;
+  uint64_t heap_cb_allocs_ = 0;
+  uint32_t next_slot_ = 0;
+  uint32_t slot_cache_ = kNoSlot;
+  Slot* chunk0_ = nullptr;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<uint32_t> free_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace hyperloop::sim

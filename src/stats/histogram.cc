@@ -11,6 +11,10 @@ Histogram::Histogram(int sub_bucket_bits)
     : sub_bucket_bits_(sub_bucket_bits),
       sub_buckets_(int64_t{1} << sub_bucket_bits) {
   assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+  // Pre-size for the full int64 range: record_n stays allocation-free
+  // (~3.7k buckets = ~30 KB at the default 6 bits; bounded because the
+  // shift count is capped at 63 - sub_bucket_bits).
+  counts_.resize(bucket_index(INT64_MAX) + 1, 0);
 }
 
 size_t Histogram::bucket_index(int64_t value) const {
@@ -36,8 +40,7 @@ void Histogram::record(int64_t value) { record_n(value, 1); }
 void Histogram::record_n(int64_t value, uint64_t count) {
   if (count == 0) return;
   if (value < 0) value = 0;
-  const size_t idx = bucket_index(value);
-  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  const size_t idx = bucket_index(value);  // always within the pre-size
   counts_[idx] += count;
   if (count_ == 0) {
     min_ = max_ = value;

@@ -2,7 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
 #include <vector>
+
+// Binary-wide allocation counter: the steady-state zero-allocation claim
+// in DESIGN.md is enforced here, not just asserted in prose. The default
+// operator new[] forwards to operator new, so this hook sees it too.
+static uint64_t g_alloc_count = 0;
+
+void* operator new(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace hyperloop::sim {
 namespace {
@@ -117,6 +132,98 @@ TEST(EventLoop, PendingCountsOnlyLiveEvents) {
   EXPECT_EQ(loop.pending(), 2u);
   loop.cancel(a);
   EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, StaleIdCannotCancelRecycledSlot) {
+  EventLoop loop;
+  bool b_ran = false;
+  const EventId a = loop.schedule_at(10, [] {});
+  EXPECT_TRUE(loop.cancel(a));
+  loop.run();  // pops the dead heap entry, recycling the slot
+  const EventId b = loop.schedule_at(20, [&] { b_ran = true; });
+  // The slab reuses the freed slot, so b must carry a fresh generation
+  // tag that makes the stale id dead.
+  ASSERT_EQ(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(loop.cancel(a));
+  loop.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EventLoop, CancelAfterFireOfRecycledSlotReturnsFalse) {
+  EventLoop loop;
+  const EventId a = loop.schedule_at(10, [] {});
+  loop.run();
+  bool b_ran = false;
+  const EventId b = loop.schedule_at(20, [&] { b_ran = true; });
+  ASSERT_EQ(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+  EXPECT_FALSE(loop.cancel(a));  // fired long ago; must not kill b
+  loop.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EventLoop, ScheduleInsideCallbackAtSameTimeRunsAfterPending) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] {
+    order.push_back(0);
+    // Same timestamp, scheduled during dispatch: FIFO seq puts it after
+    // the already-pending same-time event.
+    loop.schedule_at(10, [&] { order.push_back(2); });
+  });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventLoop, SteadyStateScheduleFireCycleDoesNotAllocate) {
+  EventLoop loop;
+  int n = 0;
+  struct Chain {
+    EventLoop* loop;
+    int* n;
+    void operator()() const {
+      if (++*n < 1000) loop->schedule_after(1, Chain{loop, n});
+    }
+  };
+  // Warm-up lap grows the slab and the heap array once.
+  loop.schedule_after(1, Chain{&loop, &n});
+  loop.run();
+  n = 0;
+  const uint64_t before = g_alloc_count;
+  loop.schedule_after(1, Chain{&loop, &n});
+  loop.run();
+  EXPECT_EQ(g_alloc_count, before);
+  EXPECT_EQ(loop.callback_heap_allocs(), 0u);
+  EXPECT_EQ(n, 1000);
+}
+
+TEST(EventLoop, SteadyStateCancelChurnDoesNotAllocate) {
+  EventLoop loop;
+  struct Noop {
+    void operator()() const {}
+  };
+  std::vector<EventId> ids;
+  ids.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(loop.schedule_after(1000000, Noop{}));
+  }
+  uint64_t cancelled = 0;
+  auto churn_round = [&] {
+    for (EventId& id : ids) {
+      cancelled += loop.cancel(id) ? 1 : 0;
+      id = loop.schedule_after(1000000, Noop{});
+    }
+    // Cancellation is lazy; advancing the clock one tick prunes this
+    // round's dead heap entries (they sort ahead of the replacements).
+    loop.run_until(loop.now() + 1);
+  };
+  churn_round();  // warm-up: heap reaches its steady-state capacity
+  const uint64_t before = g_alloc_count;
+  for (int round = 0; round < 100; ++round) churn_round();
+  EXPECT_EQ(g_alloc_count, before);
+  EXPECT_EQ(cancelled, 101u * 256u);
+  for (EventId id : ids) loop.cancel(id);
 }
 
 }  // namespace
