@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare two perf_selfcheck JSON dumps and fail on throughput regressions.
+
+Usage: compare_selfcheck.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+For every benchmark present in BOTH files that reports items_per_second,
+the candidate must not be more than `threshold` (default 15%) slower than
+the baseline. Benchmarks that exist on only one side are reported but do
+not fail the run (new benchmarks are allowed to appear; retired ones to
+disappear). Exit status 1 iff at least one regression exceeds the
+threshold — this is the CI gate that keeps BENCH_selfcheck.json honest.
+
+Wall-clock benchmarks are noisy on shared CI runners, which is why the
+gate is deliberately loose (15%, on top of google-benchmark's own
+--benchmark_min_time averaging). It exists to catch step-function
+regressions (an accidental O(n) lookup, a reintroduced per-packet
+allocation), not 2% drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bm in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bm.get("run_type") == "aggregate":
+            continue
+        ips = bm.get("items_per_second")
+        if ips:
+            out[bm["name"]] = float(ips)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional drop in items_per_second")
+    args = ap.parse_args()
+
+    base = load_items_per_second(args.baseline)
+    cand = load_items_per_second(args.candidate)
+    if not base:
+        print(f"error: no items_per_second entries in {args.baseline}")
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(base) | set(cand))) + 2
+    print(f"{'benchmark':<{width}} {'baseline':>14} {'candidate':>14} {'delta':>8}")
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"{name:<{width}} {'-':>14} {cand[name]:>14.0f}   (new)")
+            continue
+        if name not in cand:
+            print(f"{name:<{width}} {base[name]:>14.0f} {'-':>14}   (gone)")
+            continue
+        delta = cand[name] / base[name] - 1.0
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}} {base[name]:>14.0f} {cand[name]:>14.0f} "
+              f"{delta:>+7.1%}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

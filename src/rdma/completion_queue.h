@@ -6,11 +6,17 @@
 // target CQ has seen >= T completions. HyperLoop's replica chains are
 // built entirely from these counters (recv CQ of the upstream QP, send CQ
 // of the local loopback QP).
+//
+// Datapath notes: CQEs live in a flat power-of-two ring (grown to the
+// workload's high-water mark, then allocation-free), and the notify /
+// watcher callbacks use SmallFn inline storage so arming a notification
+// never heap-allocates.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+
+#include "sim/ring.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::rdma {
 
@@ -58,26 +64,33 @@ class CompletionQueue {
 
   /// Arms one-shot event notification (ibv_req_notify_cq semantics): the
   /// callback fires on the next push, then must be re-armed.
-  void set_notify(std::function<void()> fn) { notify_ = std::move(fn); }
+  void set_notify(sim::SmallFn<void()> fn) { notify_ = std::move(fn); }
   void arm_notify() { armed_ = true; }
 
   /// NIC-internal hook, fired on *every* push with the new counter value;
   /// used to wake queues blocked on WAIT WQEs.
-  void set_counter_watcher(std::function<void(uint64_t)> fn) {
+  void set_counter_watcher(sim::SmallFn<void(uint64_t)> fn) {
     watcher_ = std::move(fn);
   }
 
   uint64_t dropped() const { return dropped_; }
 
+  /// Intrusive FIFO of QPs whose head WAIT WQE is blocked on this CQ:
+  /// head/tail QPNs of a singly-linked list threaded through
+  /// QueuePair::next_wait_qpn. Owned and maintained by the Nic; nothing
+  /// else may touch these.
+  uint32_t wait_head_qpn = 0;
+  uint32_t wait_tail_qpn = 0;
+
  private:
   uint32_t id_;
   size_t capacity_;
-  std::deque<Cqe> queue_;
+  sim::Ring<Cqe> queue_;
   uint64_t completion_count_ = 0;
   uint64_t dropped_ = 0;
   bool armed_ = false;
-  std::function<void()> notify_;
-  std::function<void(uint64_t)> watcher_;
+  sim::SmallFn<void()> notify_;
+  sim::SmallFn<void(uint64_t)> watcher_;
 };
 
 }  // namespace hyperloop::rdma

@@ -22,7 +22,7 @@ void HostMemory::write(Addr addr, const void* src, size_t len) {
   if (len == 0) return;
   check(addr, len);
   std::memcpy(bytes_.data() + addr, src, len);
-  for (const auto& fn : observers_) fn(addr, len);
+  for (auto& fn : observers_) fn(addr, len);
 }
 
 void HostMemory::read(Addr addr, void* dst, size_t len) const {
@@ -36,14 +36,14 @@ void HostMemory::copy(Addr dst, Addr src, size_t len) {
   check(dst, len);
   check(src, len);
   std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
-  for (const auto& fn : observers_) fn(dst, len);
+  for (auto& fn : observers_) fn(dst, len);
 }
 
 void HostMemory::fill(Addr addr, uint8_t value, size_t len) {
   if (len == 0) return;
   check(addr, len);
   std::memset(bytes_.data() + addr, value, len);
-  for (const auto& fn : observers_) fn(addr, len);
+  for (auto& fn : observers_) fn(addr, len);
 }
 
 const uint8_t* HostMemory::view(Addr addr, size_t len) const {
@@ -52,22 +52,37 @@ const uint8_t* HostMemory::view(Addr addr, size_t len) const {
 }
 
 MemoryRegion MrTable::register_mr(Addr addr, uint64_t length, uint32_t access) {
-  MemoryRegion mr;
-  mr.addr = addr;
-  mr.length = length;
-  mr.access = access;
-  mr.lkey = next_key_++;
-  mr.rkey = next_key_++;
-  by_rkey_.emplace(mr.rkey, mr);
-  by_lkey_.emplace(mr.lkey, mr);
-  return mr;
+  uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(slots_.size());
+    assert(idx <= kSlotMask && "MR table exhausted");
+    slots_.emplace_back();
+    slots_.back().gen = 1;
+  }
+  Slot& s = slots_[idx];
+  s.live = true;
+  s.mr.addr = addr;
+  s.mr.length = length;
+  s.mr.access = access;
+  s.mr.lkey = (s.gen << kSlotBits) | idx;
+  s.mr.rkey = s.mr.lkey | kRemoteKeyBit;
+  ++live_;
+  return s.mr;
 }
 
 bool MrTable::deregister(uint32_t rkey) {
-  auto it = by_rkey_.find(rkey);
-  if (it == by_rkey_.end()) return false;
-  by_lkey_.erase(it->second.lkey);
-  by_rkey_.erase(it);
+  if ((rkey & kRemoteKeyBit) == 0) return false;
+  const uint32_t idx = rkey & kSlotMask;
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  if (!s.live || ((rkey >> kSlotBits) & kGenMask) != s.gen) return false;
+  s.live = false;
+  if (++s.gen > kGenMask) s.gen = 1;  // wrap, never issue generation 0
+  free_.push_back(idx);
+  --live_;
   return true;
 }
 
@@ -75,19 +90,27 @@ bool MrTable::in_bounds(const MemoryRegion& mr, Addr addr, uint64_t len) {
   return addr >= mr.addr && addr + len <= mr.addr + mr.length;
 }
 
+const MemoryRegion* MrTable::lookup(uint32_t key, bool remote) const {
+  if (((key & kRemoteKeyBit) != 0) != remote) return nullptr;
+  const uint32_t idx = key & kSlotMask;
+  if (idx >= slots_.size()) return nullptr;
+  const Slot& s = slots_[idx];
+  if (!s.live || ((key >> kSlotBits) & kGenMask) != s.gen) return nullptr;
+  return &s.mr;
+}
+
 bool MrTable::check_remote(uint32_t rkey, Addr addr, uint64_t len,
                            uint32_t need) const {
-  auto it = by_rkey_.find(rkey);
-  if (it == by_rkey_.end()) return false;
-  const MemoryRegion& mr = it->second;
-  if ((mr.access & need) != need) return false;
-  return in_bounds(mr, addr, len);
+  const MemoryRegion* mr = lookup(rkey, /*remote=*/true);
+  if (mr == nullptr) return false;
+  if ((mr->access & need) != need) return false;
+  return in_bounds(*mr, addr, len);
 }
 
 bool MrTable::check_local(uint32_t lkey, Addr addr, uint64_t len) const {
-  auto it = by_lkey_.find(lkey);
-  if (it == by_lkey_.end()) return false;
-  return in_bounds(it->second, addr, len);
+  const MemoryRegion* mr = lookup(lkey, /*remote=*/false);
+  if (mr == nullptr) return false;
+  return in_bounds(*mr, addr, len);
 }
 
 }  // namespace hyperloop::rdma

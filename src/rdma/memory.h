@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <functional>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/small_fn.h"
 
 namespace hyperloop::rdma {
 
@@ -76,7 +76,7 @@ class HostMemory {
   const uint8_t* view(Addr addr, size_t len) const;
 
   /// Registers an observer called after every write with (addr, len).
-  void add_write_observer(std::function<void(Addr, size_t)> fn) {
+  void add_write_observer(sim::SmallFn<void(Addr, size_t)> fn) {
     observers_.push_back(std::move(fn));
   }
 
@@ -88,7 +88,7 @@ class HostMemory {
 
   std::vector<uint8_t> bytes_;
   size_t next_ = 64;  // keep address 0 unused as a poison value
-  std::vector<std::function<void(Addr, size_t)>> observers_;
+  std::vector<sim::SmallFn<void(Addr, size_t)>> observers_;
 };
 
 /// A registered memory region.
@@ -101,12 +101,28 @@ struct MemoryRegion {
 };
 
 /// Registration table for one server (protection-domain scope).
+///
+/// Keys are dense and generation-tagged rather than hashed: bits 0..19
+/// index the registration slot, bits 20..30 carry the slot's generation
+/// (1..2047, wrapping), and bit 31 distinguishes rkey (set) from lkey
+/// (clear). Every per-packet protection check is therefore an array probe
+/// plus a compare, and a deregistered key held by an in-flight packet is
+/// detected by the generation mismatch — it can never alias a region that
+/// later recycled the slot.
 class MrTable {
  public:
+  static constexpr uint32_t kSlotBits = 20;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr uint32_t kGenBits = 11;
+  static constexpr uint32_t kGenMask = (1u << kGenBits) - 1;
+  static constexpr uint32_t kRemoteKeyBit = 1u << 31;
+
   /// Registers [addr, addr+length) with the given access rights.
   MemoryRegion register_mr(Addr addr, uint64_t length, uint32_t access);
 
-  /// Revokes a registration by its rkey. Returns false if unknown.
+  /// Revokes a registration by its rkey. Returns false if unknown. The
+  /// slot's generation is bumped, so stale keys from in-flight packets
+  /// fail the protection check even after the slot is reused.
   bool deregister(uint32_t rkey);
 
   /// Checks that `key` grants `need` access over [addr, addr+len).
@@ -114,14 +130,21 @@ class MrTable {
   bool check_remote(uint32_t rkey, Addr addr, uint64_t len, uint32_t need) const;
   bool check_local(uint32_t lkey, Addr addr, uint64_t len) const;
 
-  size_t size() const { return by_rkey_.size(); }
+  size_t size() const { return live_; }
 
  private:
-  static bool in_bounds(const MemoryRegion& mr, Addr addr, uint64_t len);
+  struct Slot {
+    uint32_t gen = 0;
+    bool live = false;
+    MemoryRegion mr;
+  };
 
-  uint32_t next_key_ = 0x1000;
-  std::unordered_map<uint32_t, MemoryRegion> by_rkey_;
-  std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
+  static bool in_bounds(const MemoryRegion& mr, Addr addr, uint64_t len);
+  const MemoryRegion* lookup(uint32_t key, bool remote) const;
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
 };
 
 }  // namespace hyperloop::rdma

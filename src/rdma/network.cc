@@ -6,8 +6,8 @@
 namespace hyperloop::rdma {
 
 NicId Network::attach(
-    std::function<void(Packet)> on_packet,
-    std::function<void(NicId, std::vector<uint8_t>)> on_datagram) {
+    sim::SmallFn<void(Packet)> on_packet,
+    sim::SmallFn<void(NicId, std::vector<uint8_t>)> on_datagram) {
   const NicId id = static_cast<NicId>(endpoints_.size());
   endpoints_.push_back(
       Endpoint{std::move(on_packet), std::move(on_datagram), 0});
@@ -15,7 +15,7 @@ NicId Network::attach(
 }
 
 void Network::set_datagram_handler(
-    NicId id, std::function<void(NicId, std::vector<uint8_t>)> fn) {
+    NicId id, sim::SmallFn<void(NicId, std::vector<uint8_t>)> fn) {
   assert(id < endpoints_.size());
   endpoints_[id].on_datagram = std::move(fn);
 }

@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "rdma/packet.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::rdma {
 
@@ -41,13 +41,16 @@ class Network {
 
   /// Attaches an endpoint; `on_packet` receives RDMA packets, and
   /// `on_datagram` (optional) receives raw datagrams. Returns the NicId.
-  NicId attach(std::function<void(Packet)> on_packet,
-               std::function<void(NicId src, std::vector<uint8_t>)> on_datagram = {});
+  /// Handlers use SmallFn inline storage: dispatching a packet to an
+  /// endpoint is two indirect calls, never a std::function allocation.
+  NicId attach(sim::SmallFn<void(Packet)> on_packet,
+               sim::SmallFn<void(NicId src, std::vector<uint8_t>)> on_datagram =
+                   {});
 
   /// Installs/replaces the datagram handler for an endpoint (used by the
   /// kernel-TCP baseline, which shares the fabric with RDMA traffic).
   void set_datagram_handler(
-      NicId id, std::function<void(NicId, std::vector<uint8_t>)> fn);
+      NicId id, sim::SmallFn<void(NicId, std::vector<uint8_t>)> fn);
 
   /// Transmits an RDMA packet (serializes on the source port).
   void transmit(Packet pkt);
@@ -64,8 +67,8 @@ class Network {
 
  private:
   struct Endpoint {
-    std::function<void(Packet)> on_packet;
-    std::function<void(NicId, std::vector<uint8_t>)> on_datagram;
+    sim::SmallFn<void(Packet)> on_packet;
+    sim::SmallFn<void(NicId, std::vector<uint8_t>)> on_datagram;
     sim::Time tx_busy_until = 0;
   };
 

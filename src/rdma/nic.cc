@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace hyperloop::rdma {
 
@@ -13,26 +14,32 @@ Nic::Nic(sim::EventLoop& loop, Network& net, HostMemory& mem,
 }
 
 CompletionQueue* Nic::create_cq(size_t capacity) {
-  const uint32_t id = next_cqn_++;
+  const uint32_t id = cqs_.alloc();
   auto cq = std::make_unique<CompletionQueue>(id, capacity);
   cq->set_counter_watcher([this, id](uint64_t) { on_cq_advance(id); });
   auto* ptr = cq.get();
-  cqs_.emplace(id, std::move(cq));
+  cqs_.install(id, std::move(cq));
   return ptr;
+}
+
+void Nic::destroy_cq(CompletionQueue* cq) {
+  assert(cq != nullptr);
+  assert(cq->wait_head_qpn == 0 && "destroying a CQ with blocked waiters");
+  cqs_.erase(cq->id());
 }
 
 QueuePair* Nic::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
                           uint32_t sq_slots) {
   if (sq_slots == 0) sq_slots = cfg_.default_sq_slots;
   auto qp = std::make_unique<QueuePair>();
-  qp->qpn = next_qpn_++;
+  qp->qpn = qps_.alloc();
   qp->nic = this;
   qp->sq_slots = sq_slots;
   qp->sq_base = mem_.alloc(uint64_t{sq_slots} * sizeof(Wqe), 64);
   qp->send_cq = send_cq;
   qp->recv_cq = recv_cq;
   auto* ptr = qp.get();
-  qps_.emplace(ptr->qpn, std::move(qp));
+  qps_.install(ptr->qpn, std::move(qp));
   return ptr;
 }
 
@@ -53,14 +60,21 @@ void Nic::connect(QueuePair* qp, NicId remote_nic, uint32_t remote_qpn) {
   qp->remote_qpn = remote_qpn;
 }
 
-QueuePair* Nic::qp(uint32_t qpn) {
-  auto it = qps_.find(qpn);
-  return it == qps_.end() ? nullptr : it->second.get();
-}
-
-CompletionQueue* Nic::cq(uint32_t id) {
-  auto it = cqs_.find(id);
-  return it == cqs_.end() ? nullptr : it->second.get();
+void Nic::destroy_qp(QueuePair* q) {
+  assert(q != nullptr);
+  // Scheduled engine events capture the QueuePair*; destroying mid-WQE
+  // would leave them dangling. Quiesce (drain the send queue) first.
+  assert(!q->engine_running && "destroying a QP with an active engine");
+  if (q->retry_timer != 0) {
+    loop_.cancel(q->retry_timer);
+    q->retry_timer = 0;
+  }
+  if (q->waiting_cqn != 0) unlink_waiter(q);
+  q->on_dma_watch = false;  // dma_watch_ entry is cleaned up lazily
+  if (q->srq != nullptr) detach_srq(q);
+  auto it = std::find(qp_cache_mru_.begin(), qp_cache_mru_.end(), q->qpn);
+  if (it != qp_cache_mru_.end()) qp_cache_mru_.erase(it);
+  qps_.erase(q->qpn);
 }
 
 uint64_t Nic::post_send(QueuePair* qp, Wqe wqe, bool deferred_ownership) {
@@ -100,20 +114,29 @@ SharedReceiveQueue* Nic::create_srq() {
 }
 
 void Nic::attach_srq(QueuePair* qp, SharedReceiveQueue* srq) {
+  assert(qp->srq == nullptr && "QP already attached to an SRQ");
   qp->srq = srq;
-  srq_members_[srq].push_back(qp);
+  srq->member_qpns.push_back(qp->qpn);
+}
+
+void Nic::detach_srq(QueuePair* qp) {
+  SharedReceiveQueue* srq = qp->srq;
+  if (srq == nullptr) return;
+  qp->srq = nullptr;
+  auto& v = srq->member_qpns;
+  v.erase(std::remove(v.begin(), v.end(), qp->qpn), v.end());
 }
 
 void Nic::post_srq_recv(SharedReceiveQueue* srq, RecvWqe wqe) {
   srq->queue.push_back(std::move(wqe));
   // Replay one parked packet from any attached QP (FIFO across members).
-  for (QueuePair* qp : srq_members_[srq]) {
-    if (!qp->stalled_inbound.empty()) {
-      Packet p = std::move(qp->stalled_inbound.front());
-      qp->stalled_inbound.pop_front();
-      dispatch_packet(std::move(p));  // PSN was accepted on first arrival
-      return;
-    }
+  for (uint32_t qpn : srq->member_qpns) {
+    QueuePair* q = qp(qpn);
+    if (q == nullptr || q->stalled_inbound.empty()) continue;
+    Packet p = std::move(q->stalled_inbound.front());
+    q->stalled_inbound.pop_front();
+    dispatch_packet(std::move(p));  // PSN was accepted on first arrival
+    return;
   }
 }
 
@@ -153,8 +176,13 @@ void Nic::engine_step(QueuePair* qp) {
   }
   if (!w.d.active) {
     // Ownership still with the driver; a DMA patch or grant_ownership()
-    // will re-kick this queue.
+    // will re-kick this queue. Register on the DMA watch list so
+    // after_dma_write only scans queues that can actually be woken.
     qp->engine_running = false;
+    if (!qp->on_dma_watch) {
+      qp->on_dma_watch = true;
+      dma_watch_.push_back(qp->qpn);
+    }
     return;
   }
   ++qp->sq_head;
@@ -255,13 +283,12 @@ void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
   p.length = w.d.length;
   p.imm = w.d.imm;
 
-  Outstanding out;
-  out.qpn = qp->qpn;
-  out.wr_id = w.wr_id;
-  out.opcode = w.d.opcode;
-  out.signaled = w.signaled;
-  out.byte_len = w.d.length;
-  out.land_addr = w.d.local_addr;
+  PendingWr wr;
+  wr.wr_id = w.wr_id;
+  wr.opcode = w.d.opcode;
+  wr.signaled = w.signaled;
+  wr.byte_len = w.d.length;
+  wr.land_addr = w.d.local_addr;
 
   sim::Duration gather_cost = 0;
   switch (op) {
@@ -301,8 +328,7 @@ void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
   }
 
   p.psn = qp->next_psn++;
-  outstanding_.emplace(p.wr_seq, out);
-  track_request(qp, p);
+  track_request(qp, p, wr);
   ++counters_.packets_tx;
   counters_.bytes_tx += p.wire_bytes();
   net_.transmit(std::move(p));
@@ -343,6 +369,14 @@ void Nic::on_packet(Packet p) {
 }
 
 void Nic::handle_packet(Packet p) {
+  // Stale QPN (destroyed QP — possibly with its slot since recycled, in
+  // which case the generation tag mismatches) or garbage: drop. A real
+  // NIC would also send a NAK; the simulated requester recovers through
+  // its retransmission/RNR budget.
+  if (qp(p.dst_qpn) == nullptr) {
+    ++counters_.invalid_qp_drops;
+    return;
+  }
   if (p.is_request() && !psn_accept(p)) return;
   dispatch_packet(std::move(p));
 }
@@ -353,7 +387,7 @@ void Nic::dispatch_packet(Packet p) {
     case Packet::Type::kWriteImm: {
       QueuePair* dst = qp(p.dst_qpn);
       assert(dst != nullptr && "packet for unknown QP");
-      std::deque<RecvWqe>& pool =
+      sim::Ring<RecvWqe>& pool =
           dst->srq != nullptr ? dst->srq->queue : dst->recv_queue;
       if (pool.empty()) {
         ++counters_.rnr_stalls;
@@ -396,7 +430,7 @@ void Nic::dispatch_packet(Packet p) {
 }
 
 void Nic::responder_send(Packet& p, QueuePair* dst) {
-  std::deque<RecvWqe>& pool =
+  sim::Ring<RecvWqe>& pool =
       dst->srq != nullptr ? dst->srq->queue : dst->recv_queue;
   RecvWqe r = std::move(pool.front());
   pool.pop_front();
@@ -505,38 +539,63 @@ void Nic::send_response(const Packet& req, Packet::Type type,
 }
 
 void Nic::requester_response(Packet& p) {
-  auto it = outstanding_.find(p.wr_seq);
-  if (it == outstanding_.end()) return;  // duplicate/stale
-  Outstanding out = it->second;
-  outstanding_.erase(it);
+  QueuePair* q = qp(p.dst_qpn);
+  if (q == nullptr) return;  // destroyed since the request went out
 
-  QueuePair* q = qp(out.qpn);
-  assert(q != nullptr);
-  // A response to PSN n acknowledges every request up to n (the
-  // responder processes strictly in order).
-  cumulative_ack(q, p.psn);
+  // A response to PSN n acknowledges every request up to n (the responder
+  // processes strictly in order). Walk the window from the head, popping
+  // acknowledged entries; the one matching wr_seq completes with a CQE.
+  // Entries popped without matching had their responses lost — they are
+  // acknowledged without a completion. A response matching nothing is a
+  // duplicate/stale and pops nothing (its PSN is below the window head).
+  bool matched = false;
+  bool progressed = false;
+  TrackedRequest done;
+  while (!q->unacked.empty() && q->unacked.front().pkt.psn <= p.psn) {
+    TrackedRequest& t = q->unacked.front();
+    if (t.pkt.wr_seq == p.wr_seq) {
+      matched = true;
+      done = std::move(t);
+    }
+    q->unacked.pop_front();
+    progressed = true;
+  }
+  if (progressed) {
+    q->retry_rounds = 0;
+    if (q->unacked.empty()) {
+      if (q->retry_timer != 0) {
+        loop_.cancel(q->retry_timer);
+        q->retry_timer = 0;
+      }
+    } else if (q->retry_timer == 0) {
+      // Timer was parked after exhausting the retry budget; progress
+      // means the responder is alive again, so resume guarding.
+      arm_retry_timer(q);
+    }
+  }
+  if (!matched) return;  // duplicate/stale response
+
   auto status = static_cast<CqStatus>(p.status);
-
   if (status == CqStatus::kSuccess) {
     if (p.type == Packet::Type::kReadResp && !p.payload.empty()) {
-      mem_.write(out.land_addr, p.payload.data(), p.payload.size());
-      after_dma_write(out.land_addr, p.payload.size());
+      mem_.write(done.wr.land_addr, p.payload.data(), p.payload.size());
+      after_dma_write(done.wr.land_addr, p.payload.size());
     } else if (p.type == Packet::Type::kCasResp) {
       assert(p.payload.size() == 8);
-      if (out.land_addr != 0) {
-        mem_.write(out.land_addr, p.payload.data(), 8);
-        after_dma_write(out.land_addr, 8);
+      if (done.wr.land_addr != 0) {
+        mem_.write(done.wr.land_addr, p.payload.data(), 8);
+        after_dma_write(done.wr.land_addr, 8);
       }
     }
   }
 
-  if (out.signaled && q->send_cq != nullptr) {
+  if (done.wr.signaled && q->send_cq != nullptr) {
     Cqe c;
-    c.wr_id = out.wr_id;
-    c.qpn = out.qpn;
-    c.opcode = out.opcode;
+    c.wr_id = done.wr.wr_id;
+    c.qpn = q->qpn;
+    c.opcode = done.wr.opcode;
     c.status = status;
-    c.byte_len = out.byte_len;
+    c.byte_len = done.wr.byte_len;
     q->send_cq->push(c);
   }
 }
@@ -554,12 +613,15 @@ bool Nic::psn_accept(Packet& p) {
     // Duplicate (our response was lost, or the request was retransmitted
     // while parked): replay the cached response if we already produced it.
     ++counters_.duplicates_dropped;
-    auto it = dst->resp_cache.find(p.psn);
-    if (it != dst->resp_cache.end()) {
-      Packet resp = it->second;
-      ++counters_.packets_tx;
-      counters_.bytes_tx += resp.wire_bytes();
-      net_.transmit(std::move(resp));
+    if (!dst->resp_cache.empty()) {
+      CachedResponse& slot =
+          dst->resp_cache[p.psn & (QueuePair::kRespCacheEntries - 1)];
+      if (slot.psn_plus1 == p.psn + 1) {
+        Packet resp = slot.resp;
+        ++counters_.packets_tx;
+        counters_.bytes_tx += resp.wire_bytes();
+        net_.transmit(std::move(resp));
+      }
     }
     return false;
   }
@@ -570,17 +632,22 @@ bool Nic::psn_accept(Packet& p) {
 }
 
 void Nic::cache_response(QueuePair* qp, uint64_t psn, const Packet& resp) {
-  qp->resp_cache[psn] = resp;
-  // Bound the cache: anything older than 128 PSNs can no longer be
-  // legitimately retransmitted by a correct peer.
-  while (!qp->resp_cache.empty() &&
-         qp->resp_cache.begin()->first + 128 < qp->expected_psn) {
-    qp->resp_cache.erase(qp->resp_cache.begin());
-  }
+  // Direct-mapped by PSN: the ring naturally retains the last
+  // kRespCacheEntries responses — anything older can no longer be
+  // legitimately retransmitted by a correct peer. Sized lazily so
+  // requester-only QPs never allocate it.
+  if (qp->resp_cache.empty()) qp->resp_cache.resize(QueuePair::kRespCacheEntries);
+  CachedResponse& slot = qp->resp_cache[psn & (QueuePair::kRespCacheEntries - 1)];
+  slot.psn_plus1 = psn + 1;
+  slot.resp = resp;
 }
 
-void Nic::track_request(QueuePair* qp, const Packet& p) {
-  qp->unacked.emplace_back(loop_.now(), p);
+void Nic::track_request(QueuePair* qp, const Packet& p, const PendingWr& wr) {
+  TrackedRequest t;
+  t.sent = loop_.now();
+  t.pkt = p;  // payload buffer is refcounted, not copied
+  t.wr = wr;
+  qp->unacked.push_back(std::move(t));
   if (qp->retry_timer == 0) arm_retry_timer(qp);
 }
 
@@ -606,14 +673,15 @@ void Nic::retry_fire(uint32_t qpn) {
     return;
   }
   const sim::Time stale_before = loop_.now() - cfg_.retransmit_timeout;
-  if (q->unacked.front().first <= stale_before) {
+  if (q->unacked.front().sent <= stale_before) {
     // Go-back-N: resend the whole unacknowledged window, in PSN order.
-    for (auto& [sent, pkt] : q->unacked) {
-      sent = loop_.now();
+    for (size_t i = 0; i < q->unacked.size(); ++i) {
+      TrackedRequest& t = q->unacked[i];
+      t.sent = loop_.now();
       ++counters_.retransmits;
       ++counters_.packets_tx;
-      counters_.bytes_tx += pkt.wire_bytes();
-      net_.transmit(pkt);
+      counters_.bytes_tx += t.pkt.wire_bytes();
+      net_.transmit(t.pkt);
     }
     ++q->retry_rounds;
   } else {
@@ -625,53 +693,90 @@ void Nic::retry_fire(uint32_t qpn) {
   }
   // Else: stop retransmitting. The peer is parked receiver-not-ready and
   // will deliver + ACK once a RECV is posted; any ACK progress or new
-  // post_send re-arms the timer (cumulative_ack / track_request).
-}
-
-void Nic::cumulative_ack(QueuePair* q, uint64_t psn) {
-  bool progressed = false;
-  while (!q->unacked.empty() && q->unacked.front().second.psn <= psn) {
-    q->unacked.pop_front();
-    progressed = true;
-  }
-  if (progressed) q->retry_rounds = 0;
-  if (q->unacked.empty()) {
-    if (q->retry_timer != 0) {
-      loop_.cancel(q->retry_timer);
-      q->retry_timer = 0;
-    }
-  } else if (progressed && q->retry_timer == 0) {
-    // Timer was parked after exhausting the retry budget; progress means
-    // the responder is alive again, so resume guarding the window.
-    arm_retry_timer(q);
-  }
+  // post_send re-arms the timer (requester_response / track_request).
 }
 
 // ------------------------------------------------------------ WAIT wiring --
 
 void Nic::after_dma_write(Addr addr, size_t len) {
-  // A DMA may have patched (and activated) pre-posted WQEs: re-kick any QP
-  // whose send-queue ring overlaps the written range.
-  for (auto& [qpn, q] : qps_) {
-    QueuePair* p = q.get();
-    if (p->engine_running || p->blocked_on_wait) continue;
-    if (addr < p->sq_end() && addr + len > p->sq_base) kick(p);
+  // A DMA may have patched (and activated) pre-posted WQEs: re-kick any
+  // watched QP whose send-queue ring overlaps the written range. Only QPs
+  // stalled at an inactive head WQE are on the watch list, so this scan
+  // is proportional to the number of stalled queues, not all QPs.
+  if (dma_watch_.empty()) return;
+  dma_watch_scratch_.clear();
+  dma_watch_scratch_.swap(dma_watch_);
+  for (uint32_t qpn : dma_watch_scratch_) {
+    QueuePair* q = qp(qpn);
+    if (q == nullptr || !q->on_dma_watch) continue;  // destroyed / stale entry
+    if (addr < q->sq_end() && addr + len > q->sq_base) {
+      q->on_dma_watch = false;
+      kick(q);  // re-registers itself if it stalls again
+    } else {
+      dma_watch_.push_back(qpn);  // still stalled, still watched
+    }
   }
 }
 
-void Nic::block_on_cq(QueuePair* qp, uint32_t cq_id) {
-  auto& v = cq_waiters_[cq_id];
-  if (std::find(v.begin(), v.end(), qp->qpn) == v.end()) v.push_back(qp->qpn);
+void Nic::block_on_cq(QueuePair* q, uint32_t cq_id) {
+  if (q->waiting_cqn == cq_id) return;  // already queued on this CQ
+  if (q->waiting_cqn != 0) unlink_waiter(q);
+  CompletionQueue* c = cq(cq_id);
+  assert(c != nullptr);
+  q->waiting_cqn = cq_id;
+  q->next_wait_qpn = 0;
+  if (c->wait_tail_qpn == 0) {
+    c->wait_head_qpn = q->qpn;
+  } else {
+    QueuePair* tail = qp(c->wait_tail_qpn);
+    assert(tail != nullptr);
+    tail->next_wait_qpn = q->qpn;
+  }
+  c->wait_tail_qpn = q->qpn;
+}
+
+void Nic::unlink_waiter(QueuePair* q) {
+  CompletionQueue* c = cq(q->waiting_cqn);
+  q->waiting_cqn = 0;
+  if (c == nullptr) {
+    q->next_wait_qpn = 0;
+    return;
+  }
+  uint32_t prev = 0;
+  uint32_t walk = c->wait_head_qpn;
+  while (walk != 0 && walk != q->qpn) {
+    prev = walk;
+    QueuePair* pq = qp(walk);
+    walk = pq != nullptr ? pq->next_wait_qpn : 0;
+  }
+  if (walk != q->qpn) {  // not on the list (already detached)
+    q->next_wait_qpn = 0;
+    return;
+  }
+  if (prev == 0) {
+    c->wait_head_qpn = q->next_wait_qpn;
+  } else {
+    qp(prev)->next_wait_qpn = q->next_wait_qpn;
+  }
+  if (c->wait_tail_qpn == q->qpn) c->wait_tail_qpn = prev;
+  q->next_wait_qpn = 0;
 }
 
 void Nic::on_cq_advance(uint32_t cq_id) {
-  auto it = cq_waiters_.find(cq_id);
-  if (it == cq_waiters_.end() || it->second.empty()) return;
-  std::vector<uint32_t> woken = std::move(it->second);
-  it->second.clear();
-  for (uint32_t qpn : woken) {
-    QueuePair* q = qp(qpn);
-    if (q != nullptr && q->blocked_on_wait) kick(q);
+  CompletionQueue* c = cq(cq_id);
+  if (c == nullptr || c->wait_head_qpn == 0) return;
+  // Detach the whole list before waking anyone: a kicked engine may
+  // immediately re-block on this CQ, relinking itself behind the batch.
+  uint32_t walk = c->wait_head_qpn;
+  c->wait_head_qpn = 0;
+  c->wait_tail_qpn = 0;
+  while (walk != 0) {
+    QueuePair* q = qp(walk);
+    if (q == nullptr) break;  // unreachable: destroy_qp unlinks waiters
+    walk = q->next_wait_qpn;
+    q->next_wait_qpn = 0;
+    q->waiting_cqn = 0;
+    if (q->blocked_on_wait) kick(q);
   }
 }
 

@@ -15,12 +15,21 @@
 // Costs: every WQE charges engine time; packets charge per-byte DMA and
 // serialize on Network ports. No CPU scheduler interaction ever happens
 // here — that asymmetry versus the Naïve baseline is the paper's thesis.
+//
+// Datapath layout: QPs and CQs live in dense generation-tagged slot
+// tables (SlotTable), so per-packet QPN resolution is an array probe, and
+// a QPN held by an in-flight packet goes stale when its QP is destroyed —
+// the packet is dropped (counted in invalid_qp_drops) instead of hitting
+// whichever QP later recycled the slot. The requester retransmit window
+// is a per-QP ring ordered by PSN carrying the completion bookkeeping
+// inline; WAIT wakeups use an intrusive per-CQ list threaded through the
+// QPs; and DMA-patch wakeups scan only the QPs actually stalled at an
+// inactive descriptor. Steady-state RX/TX touches no hash map and
+// performs no heap allocation (locked in by tests/nic_alloc_test.cc).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "nvm/nvm_device.h"
@@ -28,6 +37,7 @@
 #include "rdma/memory.h"
 #include "rdma/network.h"
 #include "rdma/queue_pair.h"
+#include "rdma/slot_table.h"
 #include "rdma/wqe.h"
 #include "sim/event_loop.h"
 
@@ -80,6 +90,7 @@ class Nic {
     uint64_t retransmits = 0;         ///< go-back-N resends
     uint64_t duplicates_dropped = 0;  ///< stale PSN requests suppressed
     uint64_t out_of_order_dropped = 0;
+    uint64_t invalid_qp_drops = 0;  ///< packets for destroyed/unknown QPNs
     uint64_t qp_cache_misses = 0;
     uint64_t qp_cache_hits = 0;
   };
@@ -120,6 +131,15 @@ class Nic {
   /// Connects a QP to a remote NIC/QP (reliable connection).
   void connect(QueuePair* qp, NicId remote_nic, uint32_t remote_qpn);
 
+  /// Destroys a QP and retires its QPN (generation bump): packets already
+  /// in flight toward it resolve to nothing and are dropped as
+  /// invalid_qp_drops, even after the slot is recycled by a later
+  /// create_qp. The engine must be idle (no in-progress WQE execution).
+  void destroy_qp(QueuePair* qp);
+
+  /// Destroys a CQ. No QP may be blocked on it or using it.
+  void destroy_cq(CompletionQueue* cq);
+
   /// Posts a send WQE. With `deferred_ownership` the WQE is written with
   /// active=0 and the engine will stall at it until a DMA patch (or
   /// grant_ownership) activates it. Returns the WQE's slot sequence.
@@ -138,23 +158,20 @@ class Nic {
   /// SRQ WQEs instead of per-QP RECVs.
   void attach_srq(QueuePair* qp, SharedReceiveQueue* srq);
 
+  /// Detaches a QP from its SRQ (membership is tracked by QPN, so this is
+  /// safe with packets in flight and with parked receiver-not-ready
+  /// packets — those stay parked until the QP is reattached or RECVs are
+  /// posted directly).
+  void detach_srq(QueuePair* qp);
+
   /// Posts a receive WQE to an SRQ (re-plays any receiver-not-ready
   /// packet parked on an attached QP).
   void post_srq_recv(SharedReceiveQueue* srq, RecvWqe wqe);
 
-  QueuePair* qp(uint32_t qpn);
-  CompletionQueue* cq(uint32_t id);
+  QueuePair* qp(uint32_t qpn) { return qps_.get(qpn); }
+  CompletionQueue* cq(uint32_t id) { return cqs_.get(id); }
 
  private:
-  struct Outstanding {
-    uint32_t qpn = 0;
-    uint64_t wr_id = 0;
-    uint8_t opcode = 0;
-    uint8_t signaled = 1;
-    uint32_t byte_len = 0;
-    Addr land_addr = 0;  ///< READ/CAS: where the response lands
-  };
-
   // --- send-side engine ---
   void kick(QueuePair* qp);
   void engine_step(QueuePair* qp);
@@ -181,7 +198,8 @@ class Nic {
                      PayloadBuf payload, uint8_t status);
 
   // Wakes queues stalled at an inactive head WQE whose slot bytes were
-  // just written by a DMA.
+  // just written by a DMA. Scans only dma_watch_ (the stalled QPs), not
+  // the whole QP table.
   void after_dma_write(Addr addr, size_t len);
 
   // Returns the context-fetch cost for touching `qpn` (0 on a cache hit)
@@ -189,20 +207,21 @@ class Nic {
   sim::Duration qp_context_touch(uint32_t qpn);
 
   // --- RC transport ---
-  // Records the outgoing request for retransmission and arms the timer.
-  void track_request(QueuePair* qp, const Packet& p);
+  // Records the outgoing request in the QP's retransmit window (with its
+  // completion bookkeeping) and arms the timer.
+  void track_request(QueuePair* qp, const Packet& p, const PendingWr& wr);
   void arm_retry_timer(QueuePair* qp);
   void retry_fire(uint32_t qpn);
-  // Acknowledges all tracked requests with PSN <= psn.
-  void cumulative_ack(QueuePair* qp, uint64_t psn);
   // Responder-side PSN gate; returns true if the packet should be
   // processed (in order), false if it was handled as dup/out-of-order.
   bool psn_accept(Packet& p);
   void cache_response(QueuePair* qp, uint64_t psn, const Packet& resp);
 
-  // WAIT bookkeeping: qpns blocked per CQ id.
+  // WAIT bookkeeping: intrusive FIFO per CQ, threaded through
+  // QueuePair::next_wait_qpn.
   void block_on_cq(QueuePair* qp, uint32_t cq_id);
   void on_cq_advance(uint32_t cq_id);
+  void unlink_waiter(QueuePair* qp);
 
   sim::EventLoop& loop_;
   Network& net_;
@@ -213,18 +232,17 @@ class Nic {
   MrTable mrs_;
   Counters counters_;
 
-  uint32_t next_qpn_ = 1;
-  uint32_t next_cqn_ = 1;
   uint64_t next_wr_seq_ = 1;
   sim::Time rx_busy_until_ = 0;
 
-  std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;
-  std::unordered_map<uint32_t, std::unique_ptr<CompletionQueue>> cqs_;
+  SlotTable<QueuePair> qps_;
+  SlotTable<CompletionQueue> cqs_;
   std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
-  std::unordered_map<SharedReceiveQueue*, std::vector<QueuePair*>>
-      srq_members_;
-  std::unordered_map<uint64_t, Outstanding> outstanding_;
-  std::unordered_map<uint32_t, std::vector<uint32_t>> cq_waiters_;
+  /// QPNs whose engine is stalled at an inactive (deferred-ownership)
+  /// head WQE, i.e. the only queues a DMA patch could wake. Entries are
+  /// removed lazily (QueuePair::on_dma_watch is authoritative).
+  std::vector<uint32_t> dma_watch_;
+  std::vector<uint32_t> dma_watch_scratch_;
   std::vector<uint32_t> qp_cache_mru_;  ///< front = most recently used
 };
 

@@ -5,16 +5,22 @@
 // descriptors via DMA — the enabling mechanism for HyperLoop's remote
 // work-request manipulation. Receive WQEs are NIC-side (only send queues
 // need to be remotely writable).
+//
+// Datapath notes: all per-QP transport queues are flat rings
+// (sim::Ring) so steady-state traffic never touches the allocator, and
+// the requester's retransmit window carries the completion bookkeeping
+// inline (PendingWr) — matching a response to its work request is a ring
+// walk from the window head, not a hash lookup.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <vector>
 
 #include "rdma/completion_queue.h"
 #include "rdma/packet.h"
 #include "rdma/wqe.h"
 #include "sim/event_loop.h"
+#include "sim/ring.h"
 
 namespace hyperloop::rdma {
 
@@ -26,12 +32,44 @@ class Nic;
 /// a single pre-posted ring.
 struct SharedReceiveQueue {
   uint32_t srqn = 0;
-  std::deque<RecvWqe> queue;
+  sim::Ring<RecvWqe> queue;
+  /// QPNs of attached QPs, in attach order (RNR replay scans these).
+  /// QPN-based, not pointer-based: a destroyed member goes stale via its
+  /// generation tag instead of leaving a dangling pointer key.
+  std::vector<uint32_t> member_qpns;
+};
+
+/// Requester-side completion bookkeeping for one in-flight work request,
+/// carried inside the retransmit window entry.
+struct PendingWr {
+  uint64_t wr_id = 0;
+  uint8_t opcode = 0;
+  uint8_t signaled = 1;
+  uint32_t byte_len = 0;
+  Addr land_addr = 0;  ///< READ/CAS: where the response lands
+};
+
+/// One transmitted-but-unacknowledged request: the wire packet (payload
+/// refcounted, not copied), its last send time, and the completion info.
+struct TrackedRequest {
+  sim::Time sent = 0;
+  Packet pkt;
+  PendingWr wr;
+};
+
+/// A cached response slot in the responder's direct-mapped replay ring
+/// (psn_plus1 == 0 means empty; the ring keeps the last
+/// kRespCacheEntries responses, exactly the old 128-PSN window).
+struct CachedResponse {
+  uint64_t psn_plus1 = 0;
+  Packet resp;
 };
 
 /// A reliable-connected (or loopback) queue pair. Created and owned by a
 /// Nic; treat fields as read-only outside rdma internals.
 struct QueuePair {
+  static constexpr uint64_t kRespCacheEntries = 128;
+
   uint32_t qpn = 0;
   Nic* nic = nullptr;
 
@@ -50,30 +88,39 @@ struct QueuePair {
   CompletionQueue* send_cq = nullptr;
   CompletionQueue* recv_cq = nullptr;
 
-  std::deque<RecvWqe> recv_queue;
+  sim::Ring<RecvWqe> recv_queue;
   /// When set, inbound SEND/WRITE_IMM consume from the SRQ instead of
   /// recv_queue.
   SharedReceiveQueue* srq = nullptr;
   /// Inbound SEND/WRITE_IMM packets that arrived before a RECV was posted
   /// (receiver-not-ready; replayed on the next post_recv).
-  std::deque<Packet> stalled_inbound;
+  sim::Ring<Packet> stalled_inbound;
 
   bool engine_running = false;
   bool blocked_on_wait = false;
+  /// True while this QP sits on the NIC's DMA-patch watch list (engine
+  /// stalled at an inactive WQE awaiting a descriptor patch).
+  bool on_dma_watch = false;
+
+  /// Intrusive WAIT wiring: the CQ this QP is queued on (0 = none) and
+  /// the next QP in that CQ's waiter list.
+  uint32_t waiting_cqn = 0;
+  uint32_t next_wait_qpn = 0;
 
   // --- RC transport state ---
   uint64_t next_psn = 0;      ///< requester: next request PSN to assign
   uint64_t expected_psn = 0;  ///< responder: next PSN accepted in order
-  /// Requester: transmitted-but-unacknowledged requests (with send time),
-  /// PSN order, for go-back-N retransmission.
-  std::deque<std::pair<sim::Time, Packet>> unacked;
+  /// Requester: transmitted-but-unacknowledged requests in PSN order;
+  /// go-back-N replay is a linear walk of this ring.
+  sim::Ring<TrackedRequest> unacked;
   sim::EventId retry_timer = 0;
   /// Consecutive retransmission rounds without ACK progress; drives the
   /// capped exponential backoff and the receiver-not-ready retry budget.
   uint32_t retry_rounds = 0;
-  /// Responder: recent responses keyed by request PSN, replayed when a
-  /// duplicate request arrives (lost-response recovery).
-  std::map<uint64_t, Packet> resp_cache;
+  /// Responder: direct-mapped replay ring of recent responses indexed by
+  /// psn % kRespCacheEntries; sized lazily on first response so
+  /// requester-only QPs never pay for it.
+  std::vector<CachedResponse> resp_cache;
 
   /// Address of the slot holding WQE sequence `seq`.
   Addr slot_addr(uint64_t seq) const {

@@ -1,0 +1,94 @@
+// Dense generation-tagged object tables for the NIC datapath.
+//
+// Every packet the simulated NIC receives resolves a QPN and (for WAITs
+// and completions) a CQN. With unordered_map those were a hash + probe +
+// pointer chase per packet; SlotTable makes them one array index plus a
+// generation compare — the same (gen << kSlotBits) | slot idiom the
+// EventLoop slab uses for EventIds. Destroying an object bumps its slot's
+// generation, so a stale id carried by an in-flight packet resolves to
+// nullptr instead of whatever object later recycled the slot.
+//
+// Ids fit uint32_t (QPN/CQN wire width): low 20 bits index the slot
+// (1M objects), high 12 bits carry the generation (1..4095, wrapping —
+// stale-id detection is exact until a single slot is reused 4095 times).
+// Generation 0 is never issued, so every valid id is nonzero.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hyperloop::rdma {
+
+template <typename T>
+class SlotTable {
+ public:
+  static constexpr uint32_t kSlotBits = 20;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr uint32_t kGenMask = 0xFFFu;
+
+  /// Reserves a slot and returns its packed id; install() the object next.
+  uint32_t alloc() {
+    uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<uint32_t>(slots_.size());
+      assert(idx <= kSlotMask && "slot table exhausted");
+      slots_.emplace_back();
+      slots_.back().gen = 1;
+    }
+    return (slots_[idx].gen << kSlotBits) | idx;
+  }
+
+  void install(uint32_t id, std::unique_ptr<T> obj) {
+    Slot& s = slots_[id & kSlotMask];
+    assert(s.gen == ((id >> kSlotBits) & kGenMask) && s.obj == nullptr);
+    s.obj = std::move(obj);
+    ++live_;
+  }
+
+  /// O(1) probe: nullptr for unknown, destroyed, or recycled-slot ids.
+  T* get(uint32_t id) const {
+    const uint32_t idx = id & kSlotMask;
+    if (idx >= slots_.size()) return nullptr;
+    const Slot& s = slots_[idx];
+    if (s.gen != ((id >> kSlotBits) & kGenMask)) return nullptr;
+    return s.obj.get();
+  }
+
+  /// Destroys the object and retires the id (generation bump).
+  std::unique_ptr<T> erase(uint32_t id) {
+    T* obj = get(id);
+    if (obj == nullptr) return nullptr;
+    const uint32_t idx = id & kSlotMask;
+    Slot& s = slots_[idx];
+    if (++s.gen > kGenMask) s.gen = 1;  // wrap, never issue generation 0
+    free_.push_back(idx);
+    --live_;
+    return std::move(s.obj);
+  }
+
+  size_t live() const { return live_; }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.obj != nullptr) fn(s.obj.get());
+    }
+  }
+
+ private:
+  struct Slot {
+    uint32_t gen = 0;
+    std::unique_ptr<T> obj;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace hyperloop::rdma

@@ -19,8 +19,8 @@ ProcessId CpuScheduler::create_process(std::string name) {
   return pid;
 }
 
-void CpuScheduler::submit(ProcessId pid, Duration service,
-                          std::function<void()> done, bool fresh_wakeup) {
+void CpuScheduler::submit(ProcessId pid, Duration service, SmallFn<void()> done,
+                          bool fresh_wakeup) {
   assert(pid < procs_.size());
   if (service < 0) service = 0;
   Task task{pid, service, std::move(done)};

@@ -17,12 +17,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/event_loop.h"
+#include "sim/ring.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace hyperloop::sim {
@@ -67,7 +67,9 @@ class CpuScheduler {
   /// `fresh_wakeup=false` models a process continuing pending work rather
   /// than being woken by an event: the wakeup overhead is skipped (the
   /// burst still queues for a core, i.e. it may be preempted in between).
-  void submit(ProcessId pid, Duration service, std::function<void()> done,
+  /// `done` uses SmallFn inline storage so submitting a burst does not
+  /// heap-allocate for typical completion closures.
+  void submit(ProcessId pid, Duration service, SmallFn<void()> done,
               bool fresh_wakeup = true);
 
   /// Convenience: burst with no completion action.
@@ -100,9 +102,9 @@ class CpuScheduler {
 
  private:
   struct Task {
-    ProcessId pid;
-    Duration remaining;
-    std::function<void()> done;
+    ProcessId pid = 0;
+    Duration remaining = 0;
+    SmallFn<void()> done;
   };
   struct Core {
     bool pinned = false;
@@ -116,7 +118,7 @@ class CpuScheduler {
   struct PinnedState {
     int core = -1;
     bool running = false;
-    std::deque<Task> queue;
+    Ring<Task> queue;
   };
 
   void enqueue_runnable(Task task);
@@ -130,7 +132,7 @@ class CpuScheduler {
   std::vector<Core> cores_;
   std::vector<ProcessStats> procs_;
   std::vector<PinnedState> pinned_;  // indexed by pid; core==-1 if unpinned
-  std::deque<Task> run_queue_;
+  Ring<Task> run_queue_;
   uint64_t total_switches_ = 0;
 };
 

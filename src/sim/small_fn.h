@@ -1,0 +1,127 @@
+// Small move-only callable wrapper with inline storage.
+//
+// std::function's 16-byte SBO forces a heap allocation for nearly every
+// closure in the simulator's hot paths (anything beyond `this` plus one
+// word). SmallFn applies the same fix the EventLoop slab uses for event
+// callbacks: callables up to `Cap` bytes are stored inline; larger ones
+// fall back to a single heap allocation so cold call sites keep working.
+// Move-only by design — the hot paths hand closures off exactly once, and
+// copyability is what forces std::function to heap-allocate shared state.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hyperloop::sim {
+
+template <typename Sig, size_t Cap = 48>
+class SmallFn;
+
+template <typename R, typename... Args, size_t Cap>
+class SmallFn<R(Args...), Cap> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(invoke_ != nullptr && "calling an empty SmallFn");
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      manage_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveTo };
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Cap && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = [](unsigned char* s, Args&&... a) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(a)...);
+      };
+      if constexpr (std::is_trivially_destructible_v<Fn> &&
+                    std::is_trivially_move_constructible_v<Fn>) {
+        manage_ = [](Op op, unsigned char* s, unsigned char* d) {
+          if (op == Op::kMoveTo) __builtin_memcpy(d, s, sizeof(Fn));
+        };
+      } else {
+        manage_ = [](Op op, unsigned char* s, unsigned char* d) {
+          Fn* self = std::launder(reinterpret_cast<Fn*>(s));
+          if (op == Op::kMoveTo) {
+            ::new (static_cast<void*>(d)) Fn(std::move(*self));
+          }
+          self->~Fn();
+        };
+      }
+    } else {
+      // Cold fallback: one allocation, owned through the stored pointer.
+      Fn* obj = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(storage_)) Fn*(obj);
+      invoke_ = [](unsigned char* s, Args&&... a) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(a)...);
+      };
+      manage_ = [](Op op, unsigned char* s, unsigned char* d) {
+        Fn** self = std::launder(reinterpret_cast<Fn**>(s));
+        if (op == Op::kMoveTo) {
+          ::new (static_cast<void*>(d)) Fn*(*self);
+        } else {
+          delete *self;
+        }
+      };
+    }
+  }
+
+  // Transfers o's callable into *this (which must be empty), leaving o
+  // empty. kMoveTo both moves into the destination and destroys the
+  // source representation, so no second kDestroy is needed on o.
+  void move_from(SmallFn& o) {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) manage_(Op::kMoveTo, o.storage_, storage_);
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(unsigned char*, Args&&...);
+  using Manage = void (*)(Op, unsigned char*, unsigned char*);
+
+  alignas(std::max_align_t) unsigned char storage_[Cap];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace hyperloop::sim

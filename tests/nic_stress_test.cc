@@ -6,6 +6,7 @@
 
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "nvm/nvm_device.h"
 #include "rdma/network.h"
@@ -135,6 +136,81 @@ TEST_P(NicStressTest, RandomTrafficCompletesExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NicStressTest, ::testing::Values(11, 22, 33));
+
+// Slot-table churn under load: 10k QPs created and destroyed in waves
+// while steady WRITE traffic flows on two long-lived QPs, with the
+// connection-context cache model active (so every churned QPN also cycles
+// through the MRU list). Invariants: the long-lived traffic is unaffected
+// (every WR completes exactly once, in-order data), destroyed QPNs
+// resolve to nullptr forever, and slots really are recycled rather than
+// growing the table without bound.
+TEST(NicChurnTest, TenThousandQpChurnWhileTrafficFlows) {
+  sim::EventLoop loop;
+  Network net(loop, Network::Config{});
+  HostMemory mem_a(1 << 20), mem_b(32 << 20);
+  Nic::Config cfg;
+  cfg.qp_cache_entries = 32;  // exercise the MRU context-cache model too
+  Nic a(loop, net, mem_a, nullptr, cfg), b(loop, net, mem_b, nullptr, cfg);
+
+  CompletionQueue* cq_a = a.create_cq(1 << 14);
+  QueuePair* qa = a.create_qp(cq_a, nullptr, 4096);
+  QueuePair* qb = b.create_qp(nullptr, nullptr, 64);
+  a.connect(qa, b.id(), qb->qpn);
+  b.connect(qb, a.id(), qa->qpn);
+  const Addr src = mem_a.alloc(64 << 10);
+  const Addr dst = mem_b.alloc(64 << 10);
+  MemoryRegion mr = b.register_mr(dst, 64 << 10, kRemoteWrite);
+
+  constexpr int kChurn = 10000;
+  constexpr int kBatch = 16;
+  std::vector<QueuePair*> batch;
+  std::set<uint32_t> slots_seen;
+  std::vector<uint32_t> dead_qpns;
+  uint64_t writes_posted = 0;
+  sim::Rng rng(7);
+
+  for (int i = 0; i < kChurn; ++i) {
+    // Churned QPs are created on the responder NIC (where traffic lands),
+    // with tiny rings so 10k send queues fit the host arena.
+    QueuePair* q = b.create_qp(nullptr, nullptr, 8);
+    slots_seen.insert(q->qpn & 0xFFFFFu);
+    batch.push_back(q);
+    if (batch.size() == kBatch) {
+      for (QueuePair* dq : batch) {
+        dead_qpns.push_back(dq->qpn);
+        b.destroy_qp(dq);
+      }
+      batch.clear();
+      // Keep traffic flowing between waves.
+      const uint64_t off = rng.next_below(1000) * 64;
+      a.post_send(qa, make_write(src + off, 0, dst + off, mr.rkey, 64,
+                                 ++writes_posted));
+      if (i % 64 == 0) loop.run_until(loop.now() + sim::usec(20));
+    }
+  }
+  loop.run();
+
+  // Every posted WR completed exactly once, successfully.
+  uint64_t completions = 0;
+  Cqe c;
+  while (cq_a->poll(&c)) {
+    EXPECT_EQ(c.status, CqStatus::kSuccess);
+    ++completions;
+  }
+  EXPECT_EQ(completions, writes_posted);
+  EXPECT_GE(writes_posted, uint64_t{kChurn / kBatch});
+
+  // Dead QPNs stay dead (generation tags), even though their slots were
+  // recycled hundreds of times each.
+  for (size_t i = 0; i < dead_qpns.size(); i += 97) {
+    EXPECT_EQ(b.qp(dead_qpns[i]), nullptr);
+  }
+  // Dense recycling: 10k churned QPs + 1 long-lived one fit in a couple
+  // of batches' worth of distinct slots.
+  EXPECT_LE(slots_seen.size(), size_t{2 * kBatch + 2});
+  EXPECT_GT(b.counters().qp_cache_misses, 0u);
+  EXPECT_EQ(b.counters().invalid_qp_drops, 0u);
+}
 
 }  // namespace
 }  // namespace hyperloop::rdma

@@ -126,6 +126,69 @@ TEST_F(SrqFixture, NonSrqQpUnaffected) {
   EXPECT_STREQ(out, "priv");
 }
 
+TEST_F(SrqFixture, DetachedQpStopsDrawingFromPoolAndReattachReplays) {
+  // Park a send from c1 (no SRQ slots posted): receiver-not-ready.
+  const Addr m1 = mem_c1.alloc(16);
+  mem_c1.write(m1, "parked", 7);
+  c1.post_send(qc1, make_send(m1, 0, 7));
+  loop.run();
+  ASSERT_EQ(srv.counters().rnr_stalls, 1u);
+  ASSERT_EQ(q1->stalled_inbound.size(), 1u);
+
+  // Detach q1 mid-park. Refilling the SRQ must NOT replay q1's parked
+  // packet any more — membership is tracked by QPN, and q1 is gone from
+  // the member list (q2, still attached, has nothing parked).
+  srv.detach_srq(q1);
+  EXPECT_EQ(q1->srq, nullptr);
+  post_srq_slot(0);
+  loop.run();
+  EXPECT_EQ(recv_cq->completion_count(), 0u);
+  EXPECT_EQ(srq->queue.size(), 1u);  // slot still unconsumed
+  EXPECT_EQ(q1->stalled_inbound.size(), 1u);
+
+  // Reattach and refill: now the parked packet replays through the SRQ,
+  // consuming a slot, and the requester finally gets its ACK.
+  srv.attach_srq(q1, srq);
+  post_srq_slot(1);
+  loop.run();
+  EXPECT_EQ(recv_cq->completion_count(), 1u);
+  EXPECT_EQ(srq->queue.size(), 1u);  // one of the two slots consumed
+  EXPECT_EQ(q1->stalled_inbound.size(), 0u);
+  char out[8] = {};
+  mem_srv.read(buf, out, 7);
+  EXPECT_STREQ(out, "parked");
+  Cqe c;
+  ASSERT_TRUE(cq1->poll(&c));
+  EXPECT_EQ(c.status, CqStatus::kSuccess);
+}
+
+TEST_F(SrqFixture, DetachedQpFallsBackToPrivateRecvQueue) {
+  // Park a send on q1, detach, then post a *private* RECV: the parked
+  // packet must replay through q1's own queue, leaving the SRQ alone.
+  const Addr m1 = mem_c1.alloc(16);
+  mem_c1.write(m1, "private", 8);
+  c1.post_send(qc1, make_send(m1, 0, 8));
+  loop.run();
+  ASSERT_EQ(q1->stalled_inbound.size(), 1u);
+
+  srv.detach_srq(q1);
+  post_srq_slot(3);  // an SRQ slot q1 must not touch any more
+  RecvWqe r;
+  r.wr_id = 42;
+  r.sges = {Sge{buf + 256, 64, mr.lkey}};
+  srv.post_recv(q1, std::move(r));
+  loop.run();
+
+  EXPECT_EQ(recv_cq->completion_count(), 1u);
+  Cqe c;
+  ASSERT_TRUE(recv_cq->poll(&c));
+  EXPECT_EQ(c.wr_id, 42u);           // the private RECV, not the SRQ slot
+  EXPECT_EQ(srq->queue.size(), 1u);  // SRQ slot untouched
+  char out[8] = {};
+  mem_srv.read(buf + 256, out, 8);
+  EXPECT_STREQ(out, "private");
+}
+
 TEST_F(SrqFixture, ManyMessagesInterleaveFairly) {
   for (uint64_t i = 0; i < 16; ++i) post_srq_slot(i % 8);
   const Addr m1 = mem_c1.alloc(8);
