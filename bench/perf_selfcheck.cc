@@ -6,6 +6,9 @@
 
 #include "apps/ycsb/workload.h"
 #include "bench/common.h"
+#include "nvm/dirty_bitmap.h"
+#include "nvm/interval_set.h"
+#include "nvm/nvm_device.h"
 #include "rdma/network.h"
 #include "rdma/nic.h"
 #include "sim/event_loop.h"
@@ -255,6 +258,76 @@ void BM_IntervalSetChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IntervalSetChurn);
+
+// Same op mix as BM_IntervalSetChurn, on the production tracker: the
+// two-level DirtyBitmap that replaced the std::map interval set in
+// NvmDevice. Apples-to-apples measurement of the swap.
+void BM_DirtyBitmapChurn(benchmark::State& state) {
+  nvm::DirtyBitmap s(1 << 21);
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    const uint64_t a = rng.next_below(1 << 20);
+    if (rng.chance(0.7)) {
+      s.mark(a, a + 64);
+    } else {
+      s.clear_range(a, a + 4096);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirtyBitmapChurn);
+
+// The full durability-tracker hot loop as the simulator drives it: stores
+// into the NVM range funnel through HostMemory's range-filtered observer
+// into the dirty bitmap, with periodic range persists and gFLUSH-style
+// full write-backs. One item = one simulated 128 B store.
+void BM_NvmDirtyTracking(benchmark::State& state) {
+  using namespace hyperloop::rdma;
+  HostMemory mem(8 << 20);
+  nvm::NvmDevice nvm(mem, 4 << 20);
+  const Addr region = nvm.alloc(1 << 20);
+  sim::Rng rng(7);
+  uint8_t payload[128] = {1};
+  uint64_t n = 0;
+  for (auto _ : state) {
+    const uint64_t off = rng.next_below((1 << 20) - sizeof(payload));
+    mem.write(region + off, payload, sizeof(payload));
+    if ((++n & 63) == 0) {
+      nvm.persist(region + off, sizeof(payload));
+    }
+    if ((n & 4095) == 0) {
+      nvm.persist_all();  // gFLUSH
+      benchmark::DoNotOptimize(nvm.dirty_bytes());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvmDirtyTracking);
+
+// The cost a non-NVM store pays for write observation: HostMemory with
+// range(0) observers watching a low window, measured on 64 B stores far
+// outside every watched range (WQE patches, CQE pushes, payload staging).
+// With range filtering this is one compare regardless of observer count.
+void BM_HostMemoryWrite(benchmark::State& state) {
+  using namespace hyperloop::rdma;
+  const int kObservers = static_cast<int>(state.range(0));
+  HostMemory mem(4 << 20);
+  uint64_t observed = 0;
+  const Addr watched = mem.alloc(1 << 20);  // low range: the "NVM" window
+  for (int i = 0; i < kObservers; ++i) {
+    mem.add_write_observer(watched, watched + (1 << 20),
+                           [&observed](Addr, size_t) { ++observed; });
+  }
+  const Addr hot = mem.alloc(1 << 16);  // far above every watched window
+  uint8_t payload[64] = {42};
+  uint64_t n = 0;
+  for (auto _ : state) {
+    mem.write(hot + ((n++ & 1023) << 6), payload, sizeof(payload));
+  }
+  benchmark::DoNotOptimize(observed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostMemoryWrite)->Arg(0)->Arg(1)->Arg(4);
 
 }  // namespace
 

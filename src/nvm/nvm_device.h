@@ -13,12 +13,19 @@
 //     or the NIC's gFLUSH-triggered cache write-back).
 //   - crash() copies durable -> live, i.e. un-persisted writes vanish —
 //     which is how tests prove gFLUSH is both necessary and sufficient.
+//
+// Dirty tracking is a two-level DirtyBitmap at 64 B cache-line
+// granularity (see dirty_bitmap.h): marking, persisting and querying are
+// word operations with zero steady-state heap allocation, and — like real
+// CLWB/ADR hardware — flushing any byte of a line makes the whole line
+// durable. IntervalSet remains as the byte-exact reference model the
+// bitmap is property-tested against.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "nvm/interval_set.h"
+#include "nvm/dirty_bitmap.h"
 #include "rdma/memory.h"
 
 namespace hyperloop::nvm {
@@ -46,18 +53,21 @@ class NvmDevice {
   }
 
   /// Flushes [addr, addr+len) from the volatile domain to the durable
-  /// medium. Out-of-range parts are ignored.
+  /// medium, rounded outward to whole 64 B lines (CLWB semantics).
+  /// Out-of-range parts are ignored.
   void persist(rdma::Addr addr, uint64_t len);
 
   /// Flushes every dirty byte (a full cache write-back, what the NIC does
   /// when it services a gFLUSH 0-byte READ).
   void persist_all();
 
-  /// True if every byte of [addr, addr+len) would survive a crash.
+  /// True if every byte of [addr, addr+len) would survive a crash, i.e.
+  /// no overlapping cache line is dirty.
   bool is_durable(rdma::Addr addr, uint64_t len) const;
 
-  /// Bytes currently at risk (written but not persisted).
-  uint64_t dirty_bytes() const { return dirty_.total_bytes(); }
+  /// Bytes currently at risk (written but not persisted), reported at
+  /// line granularity: dirty lines x 64.
+  uint64_t dirty_bytes() const { return dirty_.dirty_bytes(); }
 
   /// Simulates power failure: all un-persisted writes are lost; the live
   /// bytes revert to the last durable state.
@@ -73,7 +83,7 @@ class NvmDevice {
   rdma::Addr base_;
   size_t size_;
   std::vector<uint8_t> durable_;
-  IntervalSet dirty_;  // offsets relative to base_
+  DirtyBitmap dirty_;  // offsets relative to base_, 64 B line granularity
   uint64_t next_ = 0;  // bump allocator offset
   uint64_t crashes_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "rdma/memory.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hyperloop::rdma {
@@ -22,7 +23,13 @@ void HostMemory::write(Addr addr, const void* src, size_t len) {
   if (len == 0) return;
   check(addr, len);
   std::memcpy(bytes_.data() + addr, src, len);
-  for (auto& fn : observers_) fn(addr, len);
+  if (watched(addr, len)) notify(addr, len);
+}
+
+void HostMemory::restore(Addr addr, const void* src, size_t len) {
+  if (len == 0) return;
+  check(addr, len);
+  std::memcpy(bytes_.data() + addr, src, len);
 }
 
 void HostMemory::read(Addr addr, void* dst, size_t len) const {
@@ -36,14 +43,28 @@ void HostMemory::copy(Addr dst, Addr src, size_t len) {
   check(dst, len);
   check(src, len);
   std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
-  for (auto& fn : observers_) fn(dst, len);
+  if (watched(dst, len)) notify(dst, len);
 }
 
 void HostMemory::fill(Addr addr, uint8_t value, size_t len) {
   if (len == 0) return;
   check(addr, len);
   std::memset(bytes_.data() + addr, value, len);
-  for (auto& fn : observers_) fn(addr, len);
+  if (watched(addr, len)) notify(addr, len);
+}
+
+void HostMemory::add_write_observer(Addr begin, Addr end,
+                                    sim::SmallFn<void(Addr, size_t)> fn) {
+  assert(begin < end && "observer must watch a non-empty range");
+  observers_.push_back(WriteObserver{begin, end, std::move(fn)});
+  watch_lo_ = std::min(watch_lo_, begin);
+  watch_hi_ = std::max(watch_hi_, end);
+}
+
+void HostMemory::notify(Addr addr, size_t len) {
+  for (auto& o : observers_) {
+    if (addr < o.end && addr + len > o.begin) o.fn(addr, len);
+  }
 }
 
 const uint8_t* HostMemory::view(Addr addr, size_t len) const {

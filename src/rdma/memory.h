@@ -3,7 +3,11 @@
 // Each simulated server owns one flat HostMemory address space (a bump
 // allocator over a byte arena). All mutation goes through write()/
 // write_obj() so that observers — the NVM durability tracker — see every
-// store, whether it came from the CPU or a NIC DMA engine.
+// store, whether it came from the CPU or a NIC DMA engine. Observers are
+// range-filtered: each registers the [begin, end) window it watches, and
+// stores outside every watched window skip dispatch with a single compare
+// against the cached union of all windows — WQE patches, CQE writes and
+// payload staging never pay an indirect observer call.
 //
 // MrTable models the protection domain: regions are registered with access
 // rights and receive lkey/rkey capabilities; every NIC access is checked
@@ -43,8 +47,16 @@ class HostMemory {
   /// experiment parameter, not a runtime condition.
   Addr alloc(size_t size, size_t align = 64);
 
-  /// Copies `len` bytes into memory at `addr`, notifying observers.
+  /// Copies `len` bytes into memory at `addr`, notifying observers whose
+  /// watched range overlaps the write.
   void write(Addr addr, const void* src, size_t len);
+
+  /// Copies `len` bytes into memory at `addr` WITHOUT notifying observers.
+  /// This is the durability-revert path: NvmDevice::crash() restores the
+  /// durable image through it, so the restore does not re-mark the
+  /// restored ranges dirty. Simulation code modeling real stores must use
+  /// write() instead.
+  void restore(Addr addr, const void* src, size_t len);
 
   /// Copies `len` bytes out of memory at `addr`.
   void read(Addr addr, void* dst, size_t len) const;
@@ -75,20 +87,40 @@ class HostMemory {
   /// Read-only raw view (bounds-checked); used for payload gathers.
   const uint8_t* view(Addr addr, size_t len) const;
 
-  /// Registers an observer called after every write with (addr, len).
-  void add_write_observer(sim::SmallFn<void(Addr, size_t)> fn) {
-    observers_.push_back(std::move(fn));
-  }
+  /// Registers an observer called after every write overlapping
+  /// [begin, end) with the written (addr, len). Writes entirely outside
+  /// every registered window are filtered before any indirect call.
+  void add_write_observer(Addr begin, Addr end,
+                          sim::SmallFn<void(Addr, size_t)> fn);
 
   size_t capacity() const { return bytes_.size(); }
   size_t used() const { return next_; }
 
  private:
+  struct WriteObserver {
+    Addr begin;
+    Addr end;
+    sim::SmallFn<void(Addr, size_t)> fn;
+  };
+
   void check(Addr addr, size_t len) const;
+
+  /// Fast-path filter: true iff [addr, addr+len) overlaps the union
+  /// bounding box of all watched ranges. With no observers watch_hi_ is 0,
+  /// so the first compare rejects everything; with the usual single NVM
+  /// observer the box IS the watched range.
+  bool watched(Addr addr, size_t len) const {
+    return addr < watch_hi_ && addr + len > watch_lo_;
+  }
+
+  /// Out-of-line slow path: dispatch to each overlapping observer.
+  void notify(Addr addr, size_t len);
 
   std::vector<uint8_t> bytes_;
   size_t next_ = 64;  // keep address 0 unused as a poison value
-  std::vector<sim::SmallFn<void(Addr, size_t)>> observers_;
+  std::vector<WriteObserver> observers_;
+  Addr watch_lo_ = ~Addr{0};  // union bounding box of watched ranges
+  Addr watch_hi_ = 0;
 };
 
 /// A registered memory region.

@@ -34,14 +34,18 @@ sim::Time Network::schedule_tx(NicId src, size_t bytes) {
   return tx_end + cfg_.propagation_delay;
 }
 
-void Network::transmit(Packet pkt) {
+template <typename P>
+void Network::transmit_impl(P&& pkt) {
   assert(pkt.dst_nic < endpoints_.size());
   const sim::Time arrival = schedule_tx(pkt.src_nic, pkt.wire_bytes());
   if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
     ++packets_dropped_;
     return;  // eaten by the fabric; RC retransmission recovers
   }
-  auto deliver = [this, p = std::move(pkt)]() mutable {
+  // std::forward: an rvalue argument is moved into the closure, a
+  // retransmit/replay lvalue is copy-constructed straight into it (the
+  // caller's window/cache slot keeps the original).
+  auto deliver = [this, p = std::forward<P>(pkt)]() mutable {
     ++packets_delivered_;
     endpoints_[p.dst_nic].on_packet(std::move(p));
   };
@@ -52,14 +56,21 @@ void Network::transmit(Packet pkt) {
   loop_.schedule_at(arrival, std::move(deliver));
 }
 
+void Network::transmit(Packet&& pkt) { transmit_impl(std::move(pkt)); }
+
+void Network::transmit(const Packet& pkt) { transmit_impl(pkt); }
+
 void Network::transmit_datagram(NicId src, NicId dst,
                                 std::vector<uint8_t> bytes) {
   assert(dst < endpoints_.size());
   const sim::Time arrival = schedule_tx(src, bytes.size() + 64);
-  loop_.schedule_at(arrival, [this, src, dst, b = std::move(bytes)]() mutable {
+  auto deliver = [this, src, dst, b = std::move(bytes)]() mutable {
     assert(endpoints_[dst].on_datagram && "no datagram handler registered");
     endpoints_[dst].on_datagram(src, std::move(b));
-  });
+  };
+  static_assert(sizeof(deliver) <= sim::EventLoop::kInlineCallbackBytes,
+                "datagram delivery closure must stay inline in the event loop");
+  loop_.schedule_at(arrival, std::move(deliver));
 }
 
 }  // namespace hyperloop::rdma

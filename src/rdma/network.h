@@ -52,8 +52,17 @@ class Network {
   void set_datagram_handler(
       NicId id, sim::SmallFn<void(NicId, std::vector<uint8_t>)> fn);
 
-  /// Transmits an RDMA packet (serializes on the source port).
-  void transmit(Packet pkt);
+  /// Transmits an RDMA packet (serializes on the source port). The packet
+  /// is moved end to end: into the delivery closure and out to the
+  /// endpoint handler — no Packet copy anywhere on the delivery path.
+  void transmit(Packet&& pkt);
+
+  /// Retransmit/replay flavor: the caller keeps its copy (retransmit
+  /// window slot, duplicate-response cache). The packet is copied exactly
+  /// once, directly into the delivery closure (payload bytes are shared
+  /// via PayloadBuf refcounting, never duplicated). A packet dropped by
+  /// loss injection is not copied at all.
+  void transmit(const Packet& pkt);
 
   /// Transmits a raw datagram of `bytes.size()` bytes from src to dst.
   void transmit_datagram(NicId src, NicId dst, std::vector<uint8_t> bytes);
@@ -74,6 +83,11 @@ class Network {
 
   /// Reserves the source port and returns the delivery time.
   sim::Time schedule_tx(NicId src, size_t bytes);
+
+  /// Shared body for both transmit() overloads: P is Packet&& (move into
+  /// the delivery closure) or const Packet& (single copy into it).
+  template <typename P>
+  void transmit_impl(P&& pkt);
 
   sim::EventLoop& loop_;
   Config cfg_;

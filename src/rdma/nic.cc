@@ -617,10 +617,11 @@ bool Nic::psn_accept(Packet& p) {
       CachedResponse& slot =
           dst->resp_cache[p.psn & (QueuePair::kRespCacheEntries - 1)];
       if (slot.psn_plus1 == p.psn + 1) {
-        Packet resp = slot.resp;
         ++counters_.packets_tx;
-        counters_.bytes_tx += resp.wire_bytes();
-        net_.transmit(std::move(resp));
+        counters_.bytes_tx += slot.resp.wire_bytes();
+        // Replay keeps the cache slot; the lvalue overload copies the
+        // packet once, straight into the delivery closure.
+        net_.transmit(slot.resp);
       }
     }
     return false;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 namespace hyperloop::rdma {
 namespace {
@@ -69,7 +70,7 @@ TEST(HostMemory, ObserversSeeWrites) {
   Addr seen_addr = 0;
   size_t seen_len = 0;
   int calls = 0;
-  m.add_write_observer([&](Addr a, size_t l) {
+  m.add_write_observer(0, m.capacity(), [&](Addr a, size_t l) {
     seen_addr = a;
     seen_len = l;
     ++calls;
@@ -86,10 +87,61 @@ TEST(HostMemory, ObserversSeeWrites) {
   EXPECT_EQ(calls, 3);
 }
 
+TEST(HostMemory, ObserversAreRangeFiltered) {
+  HostMemory m(4096);
+  const Addr lo = m.alloc(64);
+  const Addr hi = m.alloc(64);
+  int calls = 0;
+  m.add_write_observer(lo, lo + 64, [&](Addr, size_t) { ++calls; });
+
+  m.write(hi, "out", 3);  // outside the watched window: filtered
+  m.fill(hi, 0xCC, 64);
+  m.copy(hi, lo, 32);
+  EXPECT_EQ(calls, 0);
+
+  m.write(lo, "in", 2);  // fully inside
+  EXPECT_EQ(calls, 1);
+  m.write(lo + 60, "span", 4);  // ends exactly at the window boundary
+  EXPECT_EQ(calls, 2);
+  m.write(lo + 63, "XY", 2);  // straddles out of the window: still overlaps
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(HostMemory, MultipleObserversDispatchByRange) {
+  HostMemory m(4096);
+  const Addr a = m.alloc(64);
+  const Addr b = m.alloc(64);
+  int calls_a = 0, calls_b = 0;
+  m.add_write_observer(a, a + 64, [&](Addr, size_t) { ++calls_a; });
+  m.add_write_observer(b, b + 64, [&](Addr, size_t) { ++calls_b; });
+  m.write(a, "1", 1);
+  m.write(b, "2", 1);
+  m.write(a + 32, "3", 1);
+  EXPECT_EQ(calls_a, 2);
+  EXPECT_EQ(calls_b, 1);
+  // A write spanning both windows notifies both.
+  std::vector<uint8_t> big(static_cast<size_t>(b + 8 - a), 0);
+  m.write(a, big.data(), big.size());
+  EXPECT_EQ(calls_a, 3);
+  EXPECT_EQ(calls_b, 2);
+}
+
+TEST(HostMemory, RestoreBypassesObservers) {
+  HostMemory m(4096);
+  const Addr a = m.alloc(64);
+  int calls = 0;
+  m.add_write_observer(a, a + 64, [&](Addr, size_t) { ++calls; });
+  m.restore(a, "quiet", 5);
+  EXPECT_EQ(calls, 0);
+  char out[6] = {};
+  m.read(a, out, 5);
+  EXPECT_STREQ(out, "quiet");  // bytes land even though nobody is told
+}
+
 TEST(HostMemory, ZeroLengthOpsAreNoops) {
   HostMemory m(4096);
   int calls = 0;
-  m.add_write_observer([&](Addr, size_t) { ++calls; });
+  m.add_write_observer(0, m.capacity(), [&](Addr, size_t) { ++calls; });
   const Addr a = m.alloc(8);
   m.write(a, nullptr, 0);
   m.read(a, nullptr, 0);

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "nvm/nvm_device.h"
 #include "rdma/network.h"
 #include "rdma/nic.h"
 #include "sim/event_loop.h"
@@ -141,6 +142,63 @@ TEST(NicAllocLossy, RetransmitAndReplayPathsAllocateNothing) {
       << "recovery paths performed heap allocations";
   EXPECT_GT(a.counters().retransmits, retransmits_before)
       << "measured laps saw no retransmissions";
+}
+
+// The durability datapath: gWRITEs landing in the responder's NVM range
+// (every DMA byte marks the dirty bitmap through the range-filtered write
+// observer) followed by gFLUSH (0-byte READ -> persist_all walks and
+// clears the dirty lines). The whole mark-dirty -> persist -> is_durable
+// cycle must be allocation-free in steady state: the DirtyBitmap allocates
+// its words once at construction, persist_all walks set summary words
+// with no interval snapshot, and crash-free laps never touch the
+// allocator. This is the tracker-level guarantee that replaced the
+// std::map IntervalSet on the hot path.
+TEST(NicAllocDurability, GwriteGflushSteadyStateAllocatesNothing) {
+  sim::EventLoop loop;
+  Network net{loop, Network::Config{}};
+  HostMemory mem_a{1 << 20}, mem_b{1 << 20};
+  nvm::NvmDevice nvm_b{mem_b, 256 << 10};  // carve NVM before other allocs
+  Nic a{loop, net, mem_a, nullptr}, b{loop, net, mem_b, &nvm_b};
+  CompletionQueue* cq_a = a.create_cq(1 << 12);
+  QueuePair* qa = a.create_qp(cq_a, nullptr, 1024);
+  QueuePair* qb = b.create_qp(nullptr, nullptr, 1024);
+  a.connect(qa, b.id(), qb->qpn);
+  b.connect(qb, a.id(), qa->qpn);
+  const Addr src = mem_a.alloc(8192);
+  const Addr dst = nvm_b.alloc(8192);
+  MemoryRegion mr =
+      b.register_mr(dst, 8192, kRemoteRead | kRemoteWrite | kLocalWrite);
+
+  // One durability lap: a burst of writes into the NVM region, then a
+  // gFLUSH; on completion everything written must be durable.
+  auto lap = [&] {
+    for (int i = 0; i < 32; ++i) {
+      a.post_send(qa, make_write(src, 0, dst + 128 * i, mr.rkey, 128, 1));
+    }
+    a.post_send(qa, make_flush(dst, mr.rkey, 2));
+    loop.run();
+    Cqe out[64];
+    while (cq_a->poll_many(out, 64) > 0) {
+    }
+  };
+
+  for (int i = 0; i < 24; ++i) lap();
+  ASSERT_GT(b.counters().flushes, 0u);
+  ASSERT_TRUE(nvm_b.is_durable(dst, 8192));
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 4; ++i) lap();
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "durability path (mark-dirty -> persist -> is_durable) performed "
+      << (g_alloc_count - before) << " heap allocations";
+
+  // Sanity: the measured laps really exercised the tracker.
+  EXPECT_EQ(nvm_b.dirty_bytes(), 0u);
+  EXPECT_TRUE(nvm_b.is_durable(dst, 8192));
+  nvm_b.crash();  // nothing volatile: crash must be a no-op on the data
+  uint8_t probe = 0;
+  mem_b.read(dst, &probe, 1);
+  EXPECT_EQ(b.counters().remote_access_errors, 0u);
 }
 
 }  // namespace
