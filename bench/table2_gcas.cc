@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
           const uint64_t expected = flip % 2 == 0 ? 0 : 1;
           const uint64_t desired = 1 - expected;
           ++flip;
-          group->gcas(0, expected, desired, {true, true, true},
+          group->gcas(0, expected, desired,
+                      hyperloop::core::ExecMap::all(3),
                       [done = std::move(done)](
-                          const std::vector<uint64_t>&) { done(); });
+                          const hyperloop::core::CasResult&) { done(); });
         });
   }
 

@@ -62,8 +62,9 @@ int main() {
   std::printf("  replica 2 db area: \"%s\"\n", out);
 
   // --- gCAS: group locking ----------------------------------------------
-  group.gcas(8192, /*expected=*/0, /*desired=*/77, {true, true, true},
-             [&](const std::vector<uint64_t>& old_values) {
+  group.gcas(8192, /*expected=*/0, /*desired=*/77,
+             core::ExecMap::all(3),
+             [&](const core::CasResult& old_values) {
                std::printf("gCAS acquired the lock; old values were");
                for (uint64_t v : old_values) std::printf(" %llu",
                    static_cast<unsigned long long>(v));
@@ -72,8 +73,8 @@ int main() {
   cluster.loop().run_until(cluster.loop().now() + sim::msec(1));
 
   // A second CAS sees the lock held (result map reports 77 everywhere).
-  group.gcas(8192, 0, 99, {true, true, true},
-             [&](const std::vector<uint64_t>& old_values) {
+  group.gcas(8192, 0, 99, core::ExecMap::all(3),
+             [&](const core::CasResult& old_values) {
                std::printf("second gCAS refused: holder id %llu\n",
                            static_cast<unsigned long long>(old_values[0]));
              });

@@ -38,7 +38,7 @@ void DocStore::write_doc(uint64_t key, std::vector<uint8_t> value,
         std::vector<core::ReplicatedWal::Entry> writes;
         writes.push_back({slot_offset(key), encode_doc(key, value)});
         txns_.execute(std::move(writes), {stripe(key)},
-                      [done = std::move(done)](bool ok) { done(ok); });
+                      [done = std::move(done)](bool ok) mutable { done(ok); });
       });
 }
 
@@ -54,7 +54,7 @@ void DocStore::finish_read(uint64_t key, ReadDone done) {
   if (cfg_.read_from_replica && reader_ != nullptr) {
     reader_->read(cfg_.layout.db_base() + slot_offset(key),
                   static_cast<uint32_t>(slot_stride()),
-                  [done = std::move(done)](std::vector<uint8_t> doc) {
+                  [done = std::move(done)](std::vector<uint8_t> doc) mutable {
                     uint32_t len = 0;
                     std::memcpy(&len, doc.data() + 8, 4);
                     if (len == 0) {
@@ -115,7 +115,7 @@ void DocStore::scan(uint64_t key, int count, Done done) {
   const auto cpu =
       cfg_.op_cpu + sim::nsec(500) * static_cast<sim::Duration>(count);
   client_.sched().submit(client_pid_, cpu,
-                         [this, key, count, done = std::move(done)] {
+                         [this, key, count, done = std::move(done)]() mutable {
                            int found = 0;
                            for (int i = 0; i < count; ++i) {
                              uint32_t len = 0;

@@ -73,20 +73,19 @@ void KvStore::maybe_checkpoint() {
   ++checkpoints_;
   // Drain until half the threshold, one record at a time, off the
   // critical path (appends continue concurrently).
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, step, alive = alive_] {
-    if (!*alive) return;
-    const bool below =
-        static_cast<double>(wal_.used_bytes()) <
-        cfg_.checkpoint_threshold / 2 * static_cast<double>(cfg_.layout.log_size);
-    if (below || !wal_.execute_and_advance([step] { (*step)(); })) {
-      checkpoint_running_ = false;
-      // Break the step<->closure cycle without destroying the closure
-      // while it is executing: clear it on the next event.
-      client_.loop().schedule_after(0, [step] { *step = nullptr; });
-    }
+  checkpoint_step();
+}
+
+void KvStore::checkpoint_step() {
+  const bool below =
+      static_cast<double>(wal_.used_bytes()) <
+      cfg_.checkpoint_threshold / 2 * static_cast<double>(cfg_.layout.log_size);
+  const auto next = [this, alive = alive_] {
+    if (*alive) checkpoint_step();
   };
-  (*step)();
+  if (below || !wal_.execute_and_advance(next)) {
+    checkpoint_running_ = false;
+  }
 }
 
 void KvStore::insert(uint64_t key, std::vector<uint8_t> value, Done done) {
@@ -99,7 +98,7 @@ void KvStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
 
 void KvStore::read(uint64_t key, ReadDone done) {
   client_.sched().submit(client_pid_, cfg_.op_cpu,
-                         [this, key, done = std::move(done)] {
+                         [this, key, done = std::move(done)]() mutable {
                            const auto* v = memtable_.find(key);
                            if (v == nullptr) {
                              done(false, {});
@@ -113,7 +112,7 @@ void KvStore::scan(uint64_t key, int count, Done done) {
   const auto cpu =
       cfg_.op_cpu + sim::nsec(300) * static_cast<sim::Duration>(count);
   client_.sched().submit(client_pid_, cpu, [this, key, count,
-                                            done = std::move(done)] {
+                                            done = std::move(done)]() mutable {
     auto it = memtable_.seek(key);
     int n = 0;
     while (it.valid() && n < count) {

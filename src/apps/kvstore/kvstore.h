@@ -93,6 +93,7 @@ class KvStore : public StorageEngine {
 
   void put(uint64_t key, std::vector<uint8_t> value, Done done);
   void maybe_checkpoint();
+  void checkpoint_step();
   void replica_sync_tick(size_t i);
 
   core::ReplicationGroup& group_;

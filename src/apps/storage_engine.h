@@ -4,8 +4,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "sim/small_fn.h"
 
 namespace hyperloop::apps {
 
@@ -13,8 +14,8 @@ class StorageEngine {
  public:
   virtual ~StorageEngine() = default;
 
-  using Done = std::function<void(bool ok)>;
-  using ReadDone = std::function<void(bool ok, std::vector<uint8_t> value)>;
+  using Done = sim::SmallFn<void(bool ok), 48>;
+  using ReadDone = sim::SmallFn<void(bool ok, std::vector<uint8_t> value), 48>;
 
   virtual void insert(uint64_t key, std::vector<uint8_t> value, Done done) = 0;
   virtual void update(uint64_t key, std::vector<uint8_t> value, Done done) = 0;

@@ -22,12 +22,21 @@ Wqe placeholder() {
 
 constexpr uint64_t kCasTag = uint64_t{1} << 62;
 
+uint32_t next_pow2(uint32_t v) {
+  uint32_t n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
 }  // namespace
 
 FanoutGroup::FanoutGroup(Server& client, std::vector<Server*> replicas,
                          Config cfg)
     : client_(client), cfg_(cfg) {
   assert(replicas.size() >= 2 && "fan-out needs a primary and >=1 backup");
+  // Primary rearm posts 4 + 3*K SGEs per slot; keep K within the inline
+  // SgeList capacity (same group-size-8 cap as the naive/tcp baselines).
+  assert(replicas.size() <= 8);
   assert(cfg_.max_inflight * 2 <= cfg_.ring_slots);
   primary_.server = replicas[0];
   backups_.resize(replicas.size() - 1);
@@ -52,6 +61,14 @@ FanoutGroup::FanoutGroup(Server& client, std::vector<Server*> replicas,
   cq_up_ = client_.nic().create_cq();
   qp_down_ =
       client_.nic().create_qp(cq_down_, nullptr, cfg_.max_inflight * 4 + 16);
+
+  // Backup/primary acks can complete a hair out of order relative to the
+  // client-CAS ack stream, so the direct-mapped table gets 4x the credit
+  // window of headroom (see PendingSlot).
+  pending_.resize(next_pow2(cfg_.max_inflight * 4));
+  pending_mask_ = static_cast<uint32_t>(pending_.size() - 1);
+  zero_scratch_.assign(ack_stride, 0);
+  cas_scratch_.resize(1 + K);
 
   setup_primary();
   for (size_t b = 0; b < K; ++b) setup_backup(b);
@@ -81,7 +98,61 @@ FanoutGroup::FanoutGroup(Server& client, std::vector<Server*> replicas,
   for (size_t b = 0; b < K; ++b) refill_tick_backup(b);
 }
 
-FanoutGroup::~FanoutGroup() { stopped_ = true; }
+FanoutGroup::~FanoutGroup() { stop(); }
+
+void FanoutGroup::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+
+  for (PendingSlot& slot : pending_) {
+    if (!slot.live) continue;
+    slot.live = false;
+    slot.done.reset();
+    slot.cas_done.reset();
+    ++aborted_ops_;
+  }
+  aborted_ops_ += waiting_.size();
+  waiting_.clear();
+  inflight_ = 0;
+
+  // Release NIC resources; QPs before the CQs they reference (destroying
+  // a WAIT-parked QP unlinks it from the CQ's waiter list).
+  {
+    rdma::Nic& nic = primary_.server->nic();
+    if (primary_.qp_prev) nic.destroy_qp(primary_.qp_prev);
+    if (primary_.qp_loop) nic.destroy_qp(primary_.qp_loop);
+    for (rdma::QueuePair* qp : primary_.qp_out) nic.destroy_qp(qp);
+    primary_.qp_out.clear();
+    if (primary_.cq_recv) nic.destroy_cq(primary_.cq_recv);
+    if (primary_.cq_loop) nic.destroy_cq(primary_.cq_loop);
+    for (rdma::CompletionQueue* cq : primary_.cq_out) nic.destroy_cq(cq);
+    primary_.cq_out.clear();
+    primary_.qp_prev = primary_.qp_loop = nullptr;
+    primary_.cq_recv = primary_.cq_loop = nullptr;
+  }
+  for (Backup& b : backups_) {
+    rdma::Nic& nic = b.server->nic();
+    if (b.qp_prev) nic.destroy_qp(b.qp_prev);
+    if (b.qp_ack) nic.destroy_qp(b.qp_ack);
+    if (b.qp_loop) nic.destroy_qp(b.qp_loop);
+    if (b.cq_recv) nic.destroy_cq(b.cq_recv);
+    if (b.cq_ack) nic.destroy_cq(b.cq_ack);
+    if (b.cq_loop) nic.destroy_cq(b.cq_loop);
+    b.qp_prev = b.qp_ack = b.qp_loop = nullptr;
+    b.cq_recv = b.cq_ack = b.cq_loop = nullptr;
+  }
+  {
+    rdma::Nic& nic = client_.nic();
+    if (qp_down_) nic.destroy_qp(qp_down_);
+    for (rdma::QueuePair* qp : qp_acks_) nic.destroy_qp(qp);
+    qp_acks_.clear();
+    qp_up_ = nullptr;
+    if (cq_down_) nic.destroy_cq(cq_down_);
+    if (cq_up_) nic.destroy_cq(cq_up_);
+    qp_down_ = nullptr;
+    cq_down_ = cq_up_ = nullptr;
+  }
+}
 
 // ------------------------------------------------------------------ setup --
 
@@ -159,6 +230,7 @@ void FanoutGroup::wire() {
   for (size_t b = 0; b < K; ++b) {
     rdma::QueuePair* up =
         client_.nic().create_qp(nullptr, cq_up_, 8);  // per-backup ack sink
+    qp_acks_.push_back(up);
     primary_.server->nic().connect(primary_.qp_out[b],
                                    backups_[b].server->nic().id(),
                                    backups_[b].qp_prev->qpn);
@@ -174,6 +246,7 @@ void FanoutGroup::wire() {
     }
   }
   rdma::QueuePair* pup = client_.nic().create_qp(nullptr, cq_up_, 8);
+  qp_acks_.push_back(pup);
   primary_.server->nic().connect(primary_.qp_out[K], client_.nic().id(),
                                  pup->qpn);
   client_.nic().connect(pup, primary_.server->nic().id(),
@@ -387,7 +460,7 @@ const std::vector<uint8_t>& FanoutGroup::build_blob(uint64_t seq,
                                 bb.data_base + op.dst, op.len)
               .d);
       put(op.flush ? rdma::make_flush(0, 0).d : nop_desc());
-    } else if (op.kind == 2 && b + 1 < op.exec.size() && op.exec[b + 1]) {
+    } else if (op.kind == 2 && op.exec.test(b + 1)) {
       put(rdma::make_cas(bb.result_base + (seq % cfg_.ring_slots) * 8,
                          bb.ring_lkey, bb.data_base + op.offset,
                          bb.data_mr.rkey, op.expected, op.desired)
@@ -404,28 +477,37 @@ const std::vector<uint8_t>& FanoutGroup::build_blob(uint64_t seq,
 
 // ------------------------------------------------------------ client path --
 
-void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
+void FanoutGroup::submit(const OpSpec& op, Done done, CasDone cas_done) {
+  assert(!stopped_ && "primitive on a stopped group");
   if (inflight_ >= cfg_.max_inflight) {
-    waiting_.push_back([this, op = std::move(op),
-                        on_acks = std::move(on_acks)]() mutable {
-      issue(std::move(op), std::move(on_acks));
-    });
+    QueuedOp q;
+    q.spec = op;
+    q.done = std::move(done);
+    q.cas_done = std::move(cas_done);
+    waiting_.push_back(std::move(q));
     return;
   }
   ++inflight_;
+  issue(op, std::move(done), std::move(cas_done));
+}
+
+void FanoutGroup::issue(const OpSpec& op, Done done, CasDone cas_done) {
   const uint64_t seq = next_seq_++;
   const size_t K = backups_.size();
 
-  PendingOp pend;
+  PendingSlot& pend = pending_[seq & pending_mask_];
+  assert(!pend.live && "pending slot table wrapped past the live window");
+  pend.seq = static_cast<uint32_t>(seq);
+  pend.kind = op.kind;
+  pend.live = true;
   pend.acks_needed = static_cast<uint32_t>(1 + K);  // primary + backups
-  if (op.kind == 2 && !op.exec.empty() && op.exec[0]) ++pend.acks_needed;
-  pend.on_complete = [seq, on_acks = std::move(on_acks)] { on_acks(seq); };
-  pending_.emplace(static_cast<uint32_t>(seq), std::move(pend));
+  if (op.kind == 2 && op.exec.test(0)) ++pend.acks_needed;
+  pend.done = std::move(done);
+  pend.cas_done = std::move(cas_done);
   if (op.kind == 2) {
     // Clear the result slot so skipped replicas (and a skipped primary)
     // report 0 rather than a stale value from a previous ring lap.
     const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
-    zero_scratch_.assign(ack_stride, 0);
     client_.mem().write(
         ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
         zero_scratch_.data(), ack_stride);
@@ -449,7 +531,7 @@ void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
     client_.mem().copy(client_region_ + op.dst, client_region_ + op.offset,
                        op.len);
     client_.nvm().persist(client_region_ + op.dst, op.len);
-  } else if (op.kind == 2 && !op.exec.empty() && op.exec[0]) {
+  } else if (op.kind == 2 && op.exec.test(0)) {
     // One-sided CAS against the primary; the result lands in the ack slot
     // (index 0) so the assembly code reads all results from one place.
     const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
@@ -469,21 +551,36 @@ void FanoutGroup::issue(OpSpec op, std::function<void(uint64_t)> on_acks) {
       qp_down_, rdma::make_send(slot, 0, static_cast<uint32_t>(blob.size())));
 }
 
+void FanoutGroup::complete(PendingSlot& slot) {
+  slot.live = false;
+  --inflight_;
+  if (slot.kind == 2) {
+    CasDone handler = std::move(slot.cas_done);
+    const size_t K = backups_.size();
+    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
+    client_.mem().read(
+        ack_base_ + (slot.seq % (cfg_.max_inflight * 2)) * ack_stride,
+        cas_scratch_.data(), ack_stride);
+    handler(CasResult(cas_scratch_.data(), 1 + K));
+  } else {
+    Done handler = std::move(slot.done);
+    if (handler) handler();
+  }
+  if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
+    QueuedOp next = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++inflight_;
+    issue(next.spec, std::move(next.done), std::move(next.cas_done));
+  }
+}
+
 void FanoutGroup::on_ack_cqe() {
   rdma::Cqe cqe;
   auto count_event = [this](uint32_t seq) {
-    auto it = pending_.find(seq);
-    if (it == pending_.end()) return;
-    if (--it->second.acks_needed > 0) return;
-    auto handler = std::move(it->second.on_complete);
-    pending_.erase(it);
-    --inflight_;
-    handler();
-    if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
-      auto next = std::move(waiting_.front());
-      waiting_.pop_front();
-      next();
-    }
+    PendingSlot& slot = pending_[seq & pending_mask_];
+    if (!slot.live || slot.seq != seq) return;
+    if (--slot.acks_needed > 0) return;
+    complete(slot);
   };
   while (cq_up_->poll(&cqe)) {
     if (!cqe.has_imm) continue;
@@ -509,7 +606,7 @@ void FanoutGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
   op.offset = offset;
   op.len = len;
   op.flush = flush;
-  issue(std::move(op), [done = std::move(done)](uint64_t) { done(); });
+  submit(op, std::move(done), CasDone{});
 }
 
 void FanoutGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
@@ -522,11 +619,11 @@ void FanoutGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
   op.dst = dst_offset;
   op.len = len;
   op.flush = flush;
-  issue(std::move(op), [done = std::move(done)](uint64_t) { done(); });
+  submit(op, std::move(done), CasDone{});
 }
 
 void FanoutGroup::gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-                       const std::vector<bool>& exec_map, CasDone done) {
+                       ExecMap exec_map, CasDone done) {
   assert(offset + 8 <= cfg_.region_size);
   OpSpec op;
   op.kind = 2;
@@ -534,16 +631,7 @@ void FanoutGroup::gcas(uint64_t offset, uint64_t expected, uint64_t desired,
   op.expected = expected;
   op.desired = desired;
   op.exec = exec_map;
-  op.exec.resize(group_size(), false);
-  issue(std::move(op), [this, done = std::move(done)](uint64_t seq) {
-    const size_t K = backups_.size();
-    const uint32_t ack_stride = static_cast<uint32_t>(8 * (1 + K));
-    std::vector<uint64_t> result(1 + K);
-    client_.mem().read(
-        ack_base_ + (seq % (cfg_.max_inflight * 2)) * ack_stride,
-        result.data(), ack_stride);
-    done(result);
-  });
+  submit(op, Done{}, std::move(done));
 }
 
 void FanoutGroup::gflush(Done done) { gwrite(0, 0, true, std::move(done)); }

@@ -21,14 +21,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/group.h"
 #include "core/server.h"
 #include "rdma/nic.h"
+#include "sim/ring.h"
 
 namespace hyperloop::core {
 
@@ -54,8 +53,9 @@ class FanoutGroup final : public ReplicationGroup {
   void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
                bool flush, Done done) override;
   void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-            const std::vector<bool>& exec_map, CasDone done) override;
+            ExecMap exec_map, CasDone done) override;
   void gflush(Done done) override;
+  void stop() override;
   void client_store(uint64_t offset, const void* src, uint32_t len) override;
   void client_load(uint64_t offset, void* dst, uint32_t len) const override;
   void replica_load(size_t i, uint64_t offset, void* dst,
@@ -112,10 +112,33 @@ class FanoutGroup final : public ReplicationGroup {
     sim::ProcessId refill_pid = 0;
   };
 
-  struct PendingOp {
+  struct OpSpec {
+    uint8_t kind = 0;  // 0 write, 1 memcpy, 2 cas
+    uint64_t offset = 0, dst = 0;
+    uint32_t len = 0;
+    bool flush = false;
+    uint64_t expected = 0, desired = 0;
+    ExecMap exec;
+  };
+
+  /// One in-flight op, direct-mapped by seq & pending_mask_. Per-source
+  /// ack streams are FIFO and every source acks every op, so the live-seq
+  /// window stays narrow; the table is sized 4x the credit window and the
+  /// claim assert guards the invariant.
+  struct PendingSlot {
+    uint32_t seq = 0;
+    uint8_t kind = 0;
+    bool live = false;
     uint32_t acks_needed = 0;
-    std::function<void()> on_complete;
-    std::vector<uint64_t> cas_results;  ///< gCAS only
+    Done done;
+    CasDone cas_done;
+  };
+
+  /// An op parked while the credit window is full.
+  struct QueuedOp {
+    OpSpec spec;
+    Done done;
+    CasDone cas_done;
   };
 
   void setup_primary();
@@ -131,23 +154,15 @@ class FanoutGroup final : public ReplicationGroup {
   //   [per backup: fwd WRITE desc][fwd FLUSH desc][fwd SEND desc]
   // Each forwarded SEND carries that backup's own 3-desc blob
   // ([op][flush][ack]) staged by the primary's RECV scatter.
-  struct OpSpec {
-    uint8_t kind = 0;  // 0 write, 1 memcpy, 2 cas
-    uint64_t offset = 0, dst = 0;
-    uint32_t len = 0;
-    bool flush = false;
-    uint64_t expected = 0, desired = 0;
-    std::vector<bool> exec;
-  };
   /// Fills and returns blob_scratch_ (valid until the next call) — the
   /// blob is memcpy'd into staging memory immediately, so per-op vector
   /// allocations on this hot path would be pure churn.
   const std::vector<uint8_t>& build_blob(uint64_t seq, const OpSpec& op);
   rdma::WqeDescriptor backup_ack_desc(size_t b, uint64_t seq,
                                       const OpSpec& op);
-  /// on_acks receives the sequence number the operation was issued as
-  /// (needed to locate its ack/result slot).
-  void issue(OpSpec op, std::function<void(uint64_t)> on_acks);
+  void submit(const OpSpec& op, Done done, CasDone cas_done);
+  void issue(const OpSpec& op, Done done, CasDone cas_done);
+  void complete(PendingSlot& slot);
   void on_ack_cqe();
   rdma::WqeDescriptor nop_desc() const;
 
@@ -161,6 +176,7 @@ class FanoutGroup final : public ReplicationGroup {
   rdma::CompletionQueue* cq_down_ = nullptr;
   rdma::QueuePair* qp_up_ = nullptr;     ///< ACKs from backups land here
   rdma::CompletionQueue* cq_up_ = nullptr;
+  std::vector<rdma::QueuePair*> qp_acks_;  ///< all client-side ack sinks
   rdma::Addr client_region_ = 0;
   rdma::Addr client_staging_ = 0;
   uint32_t client_staging_slot_ = 0;
@@ -168,11 +184,12 @@ class FanoutGroup final : public ReplicationGroup {
   rdma::MemoryRegion ack_mr_{};
   uint64_t next_seq_ = 0;
   uint32_t inflight_ = 0;
-  std::unordered_map<uint32_t, PendingOp> pending_;
-  std::deque<std::function<void()>> waiting_;
+  std::vector<PendingSlot> pending_;  ///< direct-mapped by seq & mask
+  uint32_t pending_mask_ = 0;
+  sim::Ring<QueuedOp> waiting_;  ///< ops parked for a credit
   std::vector<uint8_t> blob_scratch_;  ///< reused by build_blob per issue()
   std::vector<uint8_t> zero_scratch_;  ///< reused ack-slot clear (gCAS)
-  bool stopped_ = false;
+  std::vector<uint64_t> cas_scratch_;  ///< gCAS result-map read buffer
 };
 
 }  // namespace hyperloop::core

@@ -13,22 +13,92 @@
 // Two implementations share this interface: HyperLoopGroup (NIC-offloaded,
 // §4) and NaiveRdmaGroup (CPU-forwarded baseline, §6 "Naïve-RDMA"), so the
 // WAL / locking / storage layers above run unchanged on either.
+//
+// Callback-type policy (see DESIGN.md "Callback types"): every async
+// boundary in src/core takes a sim::SmallFn — never a copyable
+// heap-backed type-erased callable. The caps below are a contract — continuation state that fits the cap lives
+// inline in the pending-op slot and the steady-state path never touches
+// the heap; a closure that outgrows its cap still works (SmallFn falls
+// back to one allocation) but is a hot-path bug, which the sized
+// static_asserts plus the nic_alloc_test transaction lap catch.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <vector>
+#include <utility>
 
-#include "rdma/memory.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::core {
 
-/// Completion callback for write-like primitives.
-using Done = std::function<void()>;
+/// Inline capture budget for write-like completions. 96 bytes: enough for
+/// a `this` pointer, a 64-bit LSN, and a nested 64-cap SmallFn (80 bytes)
+/// — the WAL tail-pointer chain is exactly that shape.
+inline constexpr size_t kDoneCap = 96;
 
-/// Completion callback for gCAS: per-replica original values (the result
-/// map). Entries for replicas excluded by the execute map are 0.
-using CasDone = std::function<void(const std::vector<uint64_t>&)>;
+/// Inline capture budget for gCAS completions. The lock manager's CAS
+/// continuations are per-op slot indices plus `this` — 48 bytes is ample.
+inline constexpr size_t kCasDoneCap = 48;
+
+/// Per-replica gCAS result map: a non-owning view over the group's ack
+/// scratch (valid only for the duration of the callback). Entry i is the
+/// original value replica i held; replicas excluded by the execute map
+/// report 0.
+class CasResult {
+ public:
+  CasResult(const uint64_t* values, size_t n) : v_(values), n_(n) {}
+
+  size_t size() const { return n_; }
+  uint64_t operator[](size_t i) const {
+    assert(i < n_);
+    return v_[i];
+  }
+  const uint64_t* begin() const { return v_; }
+  const uint64_t* end() const { return v_ + n_; }
+
+ private:
+  const uint64_t* v_;
+  size_t n_;
+};
+
+/// Completion callback for write-like primitives. Move-only; capture
+/// state stays inline in the group's pending-op slot.
+using Done = sim::SmallFn<void(), kDoneCap>;
+
+/// Completion callback for gCAS. The CasResult view is only valid inside
+/// the call — copy values out if they must outlive it.
+using CasDone = sim::SmallFn<void(const CasResult&), kCasDoneCap>;
+
+static_assert(sizeof(Done) == kDoneCap + 2 * sizeof(void*),
+              "Done must stay a flat inline-capture SmallFn");
+static_assert(sizeof(CasDone) == kCasDoneCap + 2 * sizeof(void*),
+              "CasDone must stay a flat inline-capture SmallFn");
+
+/// gCAS execute map: one bit per chain position (bit i == replica i).
+/// Chains are <= 64 replicas everywhere in the paper and this repo, so a
+/// single word replaces the old std::vector<bool> (which allocated at
+/// every lock call site).
+struct ExecMap {
+  uint64_t bits = 0;
+
+  static constexpr size_t kMaxReplicas = 64;
+
+  static constexpr ExecMap none() { return ExecMap{0}; }
+  static constexpr ExecMap all(size_t n) {
+    return ExecMap{n >= kMaxReplicas ? ~uint64_t{0}
+                                     : (uint64_t{1} << n) - 1};
+  }
+  static constexpr ExecMap one(size_t i) { return ExecMap{uint64_t{1} << i}; }
+
+  constexpr bool test(size_t i) const { return (bits >> i) & uint64_t{1}; }
+  ExecMap& set(size_t i) {
+    bits |= uint64_t{1} << i;
+    return *this;
+  }
+  constexpr bool empty() const { return bits == 0; }
+  constexpr bool operator==(const ExecMap&) const = default;
+};
 
 class ReplicationGroup {
  public:
@@ -54,10 +124,22 @@ class ReplicationGroup {
   /// Compare-and-swap on the 8 bytes at `offset` on every replica whose
   /// bit is set in `exec_map` (group locking / selective undo).
   virtual void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-                    const std::vector<bool>& exec_map, CasDone done) = 0;
+                    ExecMap exec_map, CasDone done) = 0;
 
   /// Standalone durability barrier across all replicas.
   virtual void gflush(Done done) = 0;
+
+  /// Idempotent teardown. Pending completion callbacks are dropped
+  /// without being invoked (each counted in aborted_ops()), queued
+  /// credit-wait ops are discarded, and NIC resources (QPs, then their
+  /// CQs) are destroyed. After stop() the group only serves the local
+  /// load/store accessors below; issuing primitives is undefined.
+  /// Destructors call stop().
+  virtual void stop() = 0;
+
+  /// Number of in-flight or queued ops whose callbacks were dropped by
+  /// stop() instead of completing.
+  uint64_t aborted_ops() const { return aborted_ops_; }
 
   // --- client-local region access (the coordinator's copy) ---
 
@@ -84,6 +166,11 @@ class ReplicationGroup {
     client_store(offset, src, len);
     gwrite(offset, len, flush, std::move(done));
   }
+
+ protected:
+  /// stop() bookkeeping shared by all implementations.
+  bool stopped_ = false;
+  uint64_t aborted_ops_ = 0;
 };
 
 }  // namespace hyperloop::core

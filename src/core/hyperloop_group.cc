@@ -1,6 +1,8 @@
 #include "core/hyperloop_group.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace hyperloop::core {
@@ -23,20 +25,37 @@ Wqe placeholder() {
   return w;
 }
 
+uint32_t next_pow2(uint32_t v) {
+  uint32_t n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
 }  // namespace
+
+void HyperLoopGroup::Config::validate() const {
+  if (max_inflight == 0 || max_inflight > ring_slots / 2) {
+    std::fprintf(stderr,
+                 "HyperLoopGroup::Config: max_inflight=%u violates "
+                 "1 <= max_inflight <= ring_slots/2 (ring_slots=%u); the "
+                 "in-flight window must leave re-arm headroom\n",
+                 max_inflight, ring_slots);
+    std::abort();
+  }
+}
 
 HyperLoopGroup::HyperLoopGroup(Server& client, std::vector<Server*> replicas,
                                Config cfg)
     : client_(client), cfg_(cfg) {
   assert(!replicas.empty());
-  assert(cfg_.max_inflight * 2 <= cfg_.ring_slots &&
-         "in-flight window must leave re-arm headroom");
+  cfg_.validate();
   replicas_.resize(replicas.size());
   for (size_t i = 0; i < replicas.size(); ++i) replicas_[i].server = replicas[i];
 
   // Client-local state.
   client_region_ = client_.nvm().alloc(cfg_.region_size, 4096);
   client_zeros_ = client_.mem().alloc(result_bytes(), 64);
+  cas_scratch_.resize(replicas_.size());
 
   for (size_t i = 0; i < replicas_.size(); ++i) setup_replica(i);
   for (int p = 0; p < kNumPrims; ++p) setup_client_chain(static_cast<Prim>(p));
@@ -86,7 +105,52 @@ HyperLoopGroup::HyperLoopGroup(Server& client, std::vector<Server*> replicas,
   for (size_t i = 0; i < replicas_.size(); ++i) start_refill(i);
 }
 
-HyperLoopGroup::~HyperLoopGroup() { stopped_ = true; }
+HyperLoopGroup::~HyperLoopGroup() { stop(); }
+
+void HyperLoopGroup::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+
+  // Drop (never invoke) all pending completion callbacks and queued ops.
+  for (ClientChain& cc : client_chain_) {
+    for (PendingSlot& slot : cc.pending) {
+      if (!slot.live) continue;
+      slot.live = false;
+      slot.done.reset();
+      slot.cas_done.reset();
+      ++aborted_ops_;
+    }
+    aborted_ops_ += cc.waiting.size();
+    cc.waiting.clear();
+    cc.inflight = 0;
+  }
+
+  // Release NIC resources. QPs must go before their CQs: destroying a QP
+  // unlinks it from any CQ waiter list, and destroy_cq asserts that no
+  // WAIT-parked QP still references the CQ.
+  for (Replica& r : replicas_) {
+    rdma::Nic& nic = r.server->nic();
+    for (ReplicaChain& c : r.chain) {
+      if (c.qp_prev) nic.destroy_qp(c.qp_prev);
+      if (c.qp_next) nic.destroy_qp(c.qp_next);
+      if (c.qp_loop) nic.destroy_qp(c.qp_loop);
+      if (c.cq_recv_prev) nic.destroy_cq(c.cq_recv_prev);
+      if (c.cq_send_next) nic.destroy_cq(c.cq_send_next);
+      if (c.cq_loop) nic.destroy_cq(c.cq_loop);
+      c.qp_prev = c.qp_next = c.qp_loop = nullptr;
+      c.cq_recv_prev = c.cq_send_next = c.cq_loop = nullptr;
+    }
+  }
+  for (ClientChain& cc : client_chain_) {
+    rdma::Nic& nic = client_.nic();
+    if (cc.qp_down) nic.destroy_qp(cc.qp_down);
+    if (cc.qp_up) nic.destroy_qp(cc.qp_up);
+    if (cc.cq_down) nic.destroy_cq(cc.cq_down);
+    if (cc.cq_up) nic.destroy_cq(cc.cq_up);
+    cc.qp_down = cc.qp_up = nullptr;
+    cc.cq_down = cc.cq_up = nullptr;
+  }
+}
 
 // ------------------------------------------------------------------ setup --
 
@@ -169,6 +233,12 @@ void HyperLoopGroup::setup_client_chain(Prim p) {
   cc.cq_up = nic.create_cq();
   cc.qp_down = nic.create_qp(cc.cq_down, nullptr, cfg_.max_inflight * 4 + 16);
   cc.qp_up = nic.create_qp(nullptr, cc.cq_up, 16);
+
+  // In-flight ops are direct-mapped by seq: acks arrive in chain FIFO
+  // order, so at most max_inflight consecutive seqs are live at once and
+  // a power-of-two table twice that wide is collision-free by mask.
+  cc.pending.resize(next_pow2(cfg_.max_inflight * 2));
+  cc.pending_mask = static_cast<uint32_t>(cc.pending.size() - 1);
 }
 
 void HyperLoopGroup::rearm_slot(size_t replica, Prim p, uint64_t seq) {
@@ -299,158 +369,158 @@ rdma::WqeDescriptor HyperLoopGroup::nop_desc() const {
   return d;
 }
 
-std::vector<uint8_t> HyperLoopGroup::build_gwrite_blob(uint64_t seq,
-                                                       uint64_t offset,
-                                                       uint32_t len,
-                                                       bool flush) {
-  const size_t G = replicas_.size();
-  std::vector<uint8_t> blob(3 * kDescBytes * G);
-  uint8_t* out = blob.data();
-  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
-
-  for (size_t i = 0; i < G; ++i) {
-    const ReplicaChain& c = replicas_[i].chain[static_cast<int>(Prim::kWrite)];
-    WqeDescriptor wd, fd, sd;
-    if (i + 1 < G) {
-      const Replica& next = replicas_[i + 1];
-      wd = rdma::make_write(replicas_[i].data_base + offset, 0,
-                            next.data_base + offset, next.data_mr.rkey, len)
-               .d;
-      if (flush) {
-        fd = rdma::make_flush(next.data_base, next.data_mr.rkey).d;
-      } else {
-        fd = nop_desc();
-      }
-      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
-                           c.ring_lkey, c.staging_len)
-               .d;
-    } else {
-      // Last hop: ACK the client with a 0-byte WRITE_WITH_IMM.
-      wd = rdma::make_write_imm(
-               0, 0,
-               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
-               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
-               .d;
-      fd = nop_desc();
-      sd = nop_desc();
-    }
-    wd.active = fd.active = sd.active = 1;
-    std::memcpy(out, &wd, kDescBytes); out += kDescBytes;
-    std::memcpy(out, &fd, kDescBytes); out += kDescBytes;
-    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
-  }
-  return blob;
+HyperLoopGroup::PendingSlot& HyperLoopGroup::claim_slot(ClientChain& cc,
+                                                        uint64_t seq) {
+  PendingSlot& slot = cc.pending[seq & cc.pending_mask];
+  assert(!slot.live && "pending slot table wrapped past the live window");
+  slot.seq = static_cast<uint32_t>(seq);
+  slot.live = true;
+  return slot;
 }
 
-std::vector<uint8_t> HyperLoopGroup::build_gmemcpy_blob(uint64_t seq,
-                                                        uint64_t src,
-                                                        uint64_t dst,
-                                                        uint32_t len,
-                                                        bool flush) {
+uint32_t HyperLoopGroup::stage_gwrite_blob(uint64_t seq, uint64_t offset,
+                                           uint32_t len, bool flush) {
   const size_t G = replicas_.size();
-  std::vector<uint8_t> blob(3 * kDescBytes * G);
-  uint8_t* out = blob.data();
-  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
+  const Addr slot =
+      cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
 
+  WqeDescriptor trio[3];
+  for (size_t i = 0; i < G; ++i) {
+    const ReplicaChain& c = replicas_[i].chain[static_cast<int>(Prim::kWrite)];
+    if (i + 1 < G) {
+      const Replica& next = replicas_[i + 1];
+      trio[0] = rdma::make_write(replicas_[i].data_base + offset, 0,
+                                 next.data_base + offset, next.data_mr.rkey,
+                                 len)
+                    .d;
+      trio[1] = flush ? rdma::make_flush(next.data_base, next.data_mr.rkey).d
+                      : nop_desc();
+      trio[2] = rdma::make_send(
+                    c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                    c.ring_lkey, c.staging_len)
+                    .d;
+    } else {
+      // Last hop: ACK the client with a 0-byte WRITE_WITH_IMM.
+      trio[0] = rdma::make_write_imm(
+                    0, 0,
+                    cc.ack_base +
+                        (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+                    cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+                    .d;
+      trio[1] = nop_desc();
+      trio[2] = nop_desc();
+    }
+    trio[0].active = trio[1].active = trio[2].active = 1;
+    client_.mem().write(slot + i * 3 * kDescBytes, trio, 3 * kDescBytes);
+  }
+  return static_cast<uint32_t>(3 * kDescBytes * G);
+}
+
+uint32_t HyperLoopGroup::stage_gmemcpy_blob(uint64_t seq, uint64_t src,
+                                            uint64_t dst, uint32_t len,
+                                            bool flush) {
+  const size_t G = replicas_.size();
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+  const Addr slot =
+      cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
+
+  WqeDescriptor trio[3];
   for (size_t i = 0; i < G; ++i) {
     const ReplicaChain& c =
         replicas_[i].chain[static_cast<int>(Prim::kMemcpy)];
-    WqeDescriptor od =
-        rdma::make_local_copy(replicas_[i].data_base + src,
-                              replicas_[i].data_base + dst, len)
-            .d;
-    WqeDescriptor fd = flush ? rdma::make_flush(0, 0).d : nop_desc();
-    WqeDescriptor sd;
+    trio[0] = rdma::make_local_copy(replicas_[i].data_base + src,
+                                    replicas_[i].data_base + dst, len)
+                  .d;
+    trio[1] = flush ? rdma::make_flush(0, 0).d : nop_desc();
     if (i + 1 < G) {
-      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
-                           c.ring_lkey, c.staging_len)
-               .d;
+      trio[2] = rdma::make_send(
+                    c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                    c.ring_lkey, c.staging_len)
+                    .d;
     } else {
-      sd = rdma::make_write_imm(
-               0, 0,
-               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
-               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
-               .d;
+      trio[2] = rdma::make_write_imm(
+                    0, 0,
+                    cc.ack_base +
+                        (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+                    cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+                    .d;
     }
-    od.active = fd.active = sd.active = 1;
-    std::memcpy(out, &od, kDescBytes); out += kDescBytes;
-    std::memcpy(out, &fd, kDescBytes); out += kDescBytes;
-    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
+    trio[0].active = trio[1].active = trio[2].active = 1;
+    client_.mem().write(slot + i * 3 * kDescBytes, trio, 3 * kDescBytes);
   }
-  return blob;
+  return static_cast<uint32_t>(3 * kDescBytes * G);
 }
 
-std::vector<uint8_t> HyperLoopGroup::build_gcas_blob(
-    uint64_t seq, uint64_t offset, uint64_t expected, uint64_t desired,
-    const std::vector<bool>& exec) {
+uint32_t HyperLoopGroup::stage_gcas_blob(uint64_t seq, uint64_t offset,
+                                         uint64_t expected, uint64_t desired,
+                                         ExecMap exec) {
   const size_t G = replicas_.size();
-  std::vector<uint8_t> blob(2 * kDescBytes * G);
-  uint8_t* out = blob.data();
   const ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
+  const Addr slot =
+      cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
 
+  WqeDescriptor duo[2];
   for (size_t i = 0; i < G; ++i) {
     const ReplicaChain& c = replicas_[i].chain[static_cast<int>(Prim::kCas)];
     const Addr result_slot =
         c.result_base + (seq % cfg_.ring_slots) * result_bytes();
-    WqeDescriptor cd;
-    if (i < exec.size() && exec[i]) {
-      cd = rdma::make_cas(result_slot + 8 * i, c.ring_lkey,
-                          replicas_[i].data_base + offset,
-                          replicas_[i].data_mr.rkey, expected, desired)
-               .d;
+    if (exec.test(i)) {
+      duo[0] = rdma::make_cas(result_slot + 8 * i, c.ring_lkey,
+                              replicas_[i].data_base + offset,
+                              replicas_[i].data_mr.rkey, expected, desired)
+                   .d;
     } else {
       // Execute map cleared: the pre-posted CAS becomes a NOP (§4.2).
-      cd = nop_desc();
+      duo[0] = nop_desc();
     }
-    WqeDescriptor sd;
     if (i + 1 < G) {
-      sd = rdma::make_send(c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
-                           c.ring_lkey, c.staging_len)
-               .d;
-      sd.aux_addr = result_slot;
-      sd.aux_length = result_bytes();
+      duo[1] = rdma::make_send(
+                   c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+                   c.ring_lkey, c.staging_len)
+                   .d;
     } else {
-      sd = rdma::make_write_imm(
-               0, 0,
-               cc.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
-               cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
-               .d;
-      sd.aux_addr = result_slot;
-      sd.aux_length = result_bytes();
+      duo[1] = rdma::make_write_imm(
+                   0, 0,
+                   cc.ack_base +
+                       (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+                   cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+                   .d;
     }
-    cd.active = sd.active = 1;
-    std::memcpy(out, &cd, kDescBytes); out += kDescBytes;
-    std::memcpy(out, &sd, kDescBytes); out += kDescBytes;
+    duo[1].aux_addr = result_slot;
+    duo[1].aux_length = result_bytes();
+    duo[0].active = duo[1].active = 1;
+    client_.mem().write(slot + i * 2 * kDescBytes, duo, 2 * kDescBytes);
   }
-  return blob;
+  return static_cast<uint32_t>(2 * kDescBytes * G);
 }
 
-void HyperLoopGroup::submit(Prim p, std::function<void()> issue) {
-  ClientChain& cc = client_chain_[static_cast<int>(p)];
-  if (cc.inflight >= cfg_.max_inflight) {
-    cc.waiting.push_back(std::move(issue));
-    return;
-  }
-  ++cc.inflight;
-  issue();
-}
-
-void HyperLoopGroup::issue_blob(Prim p, uint64_t seq,
-                                std::vector<uint8_t> blob,
-                                std::function<void()> on_ack) {
+void HyperLoopGroup::post_meta_send(Prim p, uint64_t seq, uint32_t blob_len) {
   ClientChain& cc = client_chain_[static_cast<int>(p)];
   const Addr slot =
       cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
-  client_.mem().write(slot, blob.data(), blob.size());
-
-  Wqe send = rdma::make_send(slot, 0, static_cast<uint32_t>(blob.size()));
+  Wqe send = rdma::make_send(slot, 0, blob_len);
   if (p == Prim::kCas) {
     // Seed the result map with zeros so excluded replicas report 0.
     send.d.aux_addr = client_zeros_;
     send.d.aux_length = result_bytes();
   }
-  cc.pending.emplace(static_cast<uint32_t>(seq), std::move(on_ack));
   client_.nic().post_send(cc.qp_down, send);
+}
+
+void HyperLoopGroup::dispatch(Prim p, QueuedOp&& op) {
+  switch (p) {
+    case Prim::kWrite:
+      issue_gwrite(op.a, op.len, op.flush, std::move(op.done));
+      break;
+    case Prim::kMemcpy:
+      issue_gmemcpy(op.a, op.b, op.len, op.flush, std::move(op.done));
+      break;
+    case Prim::kCas:
+      issue_gcas(op.a, op.expected, op.desired, op.exec,
+                 std::move(op.cas_done));
+      break;
+  }
 }
 
 void HyperLoopGroup::on_ack_cqe(Prim p) {
@@ -458,19 +528,27 @@ void HyperLoopGroup::on_ack_cqe(Prim p) {
   rdma::Cqe cqe;
   while (cc.cq_up->poll(&cqe)) {
     if (!cqe.has_imm) continue;
-    auto it = cc.pending.find(cqe.imm);
-    if (it == cc.pending.end()) continue;
-    auto handler = std::move(it->second);
-    cc.pending.erase(it);
+    PendingSlot& slot = cc.pending[cqe.imm & cc.pending_mask];
+    if (!slot.live || slot.seq != cqe.imm) continue;
+    slot.live = false;
     cc.completed_seq = cqe.imm;
     client_.nic().post_recv(cc.qp_up, RecvWqe{});
     --cc.inflight;
-    handler();
+    if (p == Prim::kCas) {
+      CasDone handler = std::move(slot.cas_done);
+      client_.mem().read(
+          cc.ack_base + (cqe.imm % (cfg_.max_inflight * 2)) * result_bytes(),
+          cas_scratch_.data(), result_bytes());
+      handler(CasResult(cas_scratch_.data(), replicas_.size()));
+    } else {
+      Done handler = std::move(slot.done);
+      if (handler) handler();
+    }
     if (!cc.waiting.empty() && cc.inflight < cfg_.max_inflight) {
-      auto next = std::move(cc.waiting.front());
+      QueuedOp next = std::move(cc.waiting.front());
       cc.waiting.pop_front();
       ++cc.inflight;
-      next();
+      dispatch(p, std::move(next));
     }
   }
   cc.cq_up->arm_notify();
@@ -478,72 +556,108 @@ void HyperLoopGroup::on_ack_cqe(Prim p) {
 
 // ------------------------------------------------------------- primitives --
 
+void HyperLoopGroup::issue_gwrite(uint64_t offset, uint32_t len, bool flush,
+                                  Done done) {
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
+  const uint64_t seq = cc.next_seq++;
+  ++counters_.gwrites;
+  counters_.bytes_replicated += uint64_t{len} * replicas_.size();
+
+  // Data WRITE (+FLUSH) to the first replica, then the metadata SEND that
+  // drives the offloaded chain.
+  const Replica& r0 = replicas_.front();
+  Wqe data = rdma::make_write(client_region_ + offset, 0,
+                              r0.data_base + offset, r0.data_mr.rkey, len);
+  client_.nic().post_send(cc.qp_down, data);
+  if (flush) {
+    client_.nic().post_send(
+        cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
+  }
+  const uint32_t blob_len = stage_gwrite_blob(seq, offset, len, flush);
+  claim_slot(cc, seq).done = std::move(done);
+  post_meta_send(Prim::kWrite, seq, blob_len);
+}
+
+void HyperLoopGroup::issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len,
+                                   bool flush, Done done) {
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+  const uint64_t seq = cc.next_seq++;
+  ++counters_.gmemcpys;
+  // The client's copy of the region must stay in sync: perform the same
+  // copy locally (the client is the head of the chain).
+  client_.mem().copy(client_region_ + dst, client_region_ + src, len);
+  client_.nvm().persist(client_region_ + dst, len);
+  const uint32_t blob_len = stage_gmemcpy_blob(seq, src, dst, len, flush);
+  claim_slot(cc, seq).done = std::move(done);
+  post_meta_send(Prim::kMemcpy, seq, blob_len);
+}
+
+void HyperLoopGroup::issue_gcas(uint64_t offset, uint64_t expected,
+                                uint64_t desired, ExecMap exec, CasDone done) {
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
+  const uint64_t seq = cc.next_seq++;
+  ++counters_.gcas;
+  const uint32_t blob_len =
+      stage_gcas_blob(seq, offset, expected, desired, exec);
+  claim_slot(cc, seq).cas_done = std::move(done);
+  post_meta_send(Prim::kCas, seq, blob_len);
+}
+
 void HyperLoopGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
                             Done done) {
+  assert(!stopped_ && "gwrite on a stopped group");
   assert(offset + len <= cfg_.region_size);
-  submit(Prim::kWrite, [this, offset, len, flush, done = std::move(done)] {
-    ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
-    const uint64_t seq = cc.next_seq++;
-    ++counters_.gwrites;
-    counters_.bytes_replicated += uint64_t{len} * replicas_.size();
-
-    // Data WRITE (+FLUSH) to the first replica, then the metadata SEND
-    // that drives the offloaded chain.
-    const Replica& r0 = replicas_.front();
-    Wqe data = rdma::make_write(client_region_ + offset, 0,
-                                r0.data_base + offset, r0.data_mr.rkey, len);
-    client_.nic().post_send(cc.qp_down, data);
-    if (flush) {
-      client_.nic().post_send(
-          cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
-    }
-    issue_blob(Prim::kWrite, seq, build_gwrite_blob(seq, offset, len, flush),
-               std::move(done));
-  });
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kWrite)];
+  if (cc.inflight >= cfg_.max_inflight) {
+    QueuedOp op;
+    op.a = offset;
+    op.len = len;
+    op.flush = flush;
+    op.done = std::move(done);
+    cc.waiting.push_back(std::move(op));
+    return;
+  }
+  ++cc.inflight;
+  issue_gwrite(offset, len, flush, std::move(done));
 }
 
 void HyperLoopGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
                              uint32_t len, bool flush, Done done) {
+  assert(!stopped_ && "gmemcpy on a stopped group");
   assert(src_offset + len <= cfg_.region_size);
   assert(dst_offset + len <= cfg_.region_size);
-  submit(Prim::kMemcpy,
-         [this, src_offset, dst_offset, len, flush, done = std::move(done)] {
-           ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
-           const uint64_t seq = cc.next_seq++;
-           ++counters_.gmemcpys;
-           // The client's copy of the region must stay in sync: perform
-           // the same copy locally (the client is the head of the chain).
-           client_.mem().copy(client_region_ + dst_offset,
-                              client_region_ + src_offset, len);
-           client_.nvm().persist(client_region_ + dst_offset, len);
-           issue_blob(
-               Prim::kMemcpy, seq,
-               build_gmemcpy_blob(seq, src_offset, dst_offset, len, flush),
-               std::move(done));
-         });
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kMemcpy)];
+  if (cc.inflight >= cfg_.max_inflight) {
+    QueuedOp op;
+    op.a = src_offset;
+    op.b = dst_offset;
+    op.len = len;
+    op.flush = flush;
+    op.done = std::move(done);
+    cc.waiting.push_back(std::move(op));
+    return;
+  }
+  ++cc.inflight;
+  issue_gmemcpy(src_offset, dst_offset, len, flush, std::move(done));
 }
 
 void HyperLoopGroup::gcas(uint64_t offset, uint64_t expected,
-                          uint64_t desired, const std::vector<bool>& exec_map,
-                          CasDone done) {
+                          uint64_t desired, ExecMap exec_map, CasDone done) {
+  assert(!stopped_ && "gcas on a stopped group");
   assert(offset + 8 <= cfg_.region_size);
-  submit(Prim::kCas, [this, offset, expected, desired, exec_map,
-                      done = std::move(done)] {
-    ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
-    const uint64_t seq = cc.next_seq++;
-    ++counters_.gcas;
-    auto on_ack = [this, seq, done = std::move(done)] {
-      ClientChain& c2 = client_chain_[static_cast<int>(Prim::kCas)];
-      std::vector<uint64_t> result(replicas_.size());
-      client_.mem().read(
-          c2.ack_base + (seq % (cfg_.max_inflight * 2)) * result_bytes(),
-          result.data(), result_bytes());
-      done(result);
-    };
-    issue_blob(Prim::kCas, seq,
-               build_gcas_blob(seq, offset, expected, desired, exec_map),
-               std::move(on_ack));
-  });
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kCas)];
+  if (cc.inflight >= cfg_.max_inflight) {
+    QueuedOp op;
+    op.a = offset;
+    op.expected = expected;
+    op.desired = desired;
+    op.exec = exec_map;
+    op.cas_done = std::move(done);
+    cc.waiting.push_back(std::move(op));
+    return;
+  }
+  ++cc.inflight;
+  issue_gcas(offset, expected, desired, exec_map, std::move(done));
 }
 
 void HyperLoopGroup::gflush(Done done) {

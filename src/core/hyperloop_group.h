@@ -21,17 +21,22 @@
 //
 // Replica CPUs only run a periodic refill task (off the critical path)
 // that re-arms consumed ring slots, exactly as §5.1 describes.
+//
+// Client-side bookkeeping is allocation-free in steady state: in-flight
+// ops live in a direct-mapped slot table (acks arrive in chain FIFO
+// order, so live seqs form a window <= max_inflight wide and seq & mask
+// never collides), ops waiting for a credit queue in a sim::Ring, and
+// patch descriptors are staged straight into the metadata ring slot.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/group.h"
 #include "core/server.h"
 #include "rdma/nic.h"
+#include "sim/ring.h"
 
 namespace hyperloop::core {
 
@@ -51,6 +56,16 @@ class HyperLoopGroup final : public ReplicationGroup {
     /// If false, replicas re-arm rings with zero CPU (idealized NIC
     /// self-refill; used by ablation benchmarks).
     bool refill_via_cpu = true;
+
+    /// Enforces the documented invariants (constructor calls this; it
+    /// aborts with a diagnostic rather than silently mis-running):
+    ///   - max_inflight >= 1: the credit window must admit at least one op.
+    ///   - max_inflight <= ring_slots / 2: the client may only wrap
+    ///     halfway around the pre-posted replica rings; the other half is
+    ///     the re-arm headroom the off-path refill task needs. Violating
+    ///     this lets a fast client patch a slot whose previous chain has
+    ///     not been re-armed, corrupting deferred descriptors in flight.
+    void validate() const;
   };
 
   struct OpCounters {
@@ -71,8 +86,9 @@ class HyperLoopGroup final : public ReplicationGroup {
   void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
                bool flush, Done done) override;
   void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-            const std::vector<bool>& exec_map, CasDone done) override;
+            ExecMap exec_map, CasDone done) override;
   void gflush(Done done) override;
+  void stop() override;
   void client_store(uint64_t offset, const void* src, uint32_t len) override;
   void client_load(uint64_t offset, void* dst, uint32_t len) const override;
   void replica_load(size_t i, uint64_t offset, void* dst,
@@ -100,7 +116,7 @@ class HyperLoopGroup final : public ReplicationGroup {
   sim::Duration replica_cpu_time(size_t i) const {
     const Replica& r = replicas_.at(i);
     return cfg_.refill_via_cpu ? r.server->sched().stats(r.refill_pid).cpu_time
-                               : 0;
+                               : sim::Duration{0};
   }
 
  private:
@@ -133,6 +149,30 @@ class HyperLoopGroup final : public ReplicationGroup {
     sim::ProcessId refill_pid = 0;
   };
 
+  /// One in-flight op. `done` serves write-like primitives, `cas_done`
+  /// serves gCAS; storing both flat (instead of one nested closure) keeps
+  /// continuation state inside the Done/CasDone inline caps.
+  struct PendingSlot {
+    uint32_t seq = 0;
+    bool live = false;
+    Done done;
+    CasDone cas_done;
+  };
+
+  /// An op parked while the credit window is full. Parameters are stored
+  /// by value and re-dispatched by primitive when a credit frees up.
+  struct QueuedOp {
+    uint64_t a = 0;  ///< offset / src_offset
+    uint64_t b = 0;  ///< dst_offset (gMEMCPY)
+    uint64_t expected = 0;
+    uint64_t desired = 0;
+    uint32_t len = 0;
+    bool flush = false;
+    ExecMap exec;
+    Done done;
+    CasDone cas_done;
+  };
+
   // Client-side per-primitive state.
   struct ClientChain {
     rdma::QueuePair* qp_down = nullptr;
@@ -146,8 +186,9 @@ class HyperLoopGroup final : public ReplicationGroup {
     uint64_t next_seq = 0;
     uint64_t completed_seq = 0;
     uint32_t inflight = 0;
-    std::unordered_map<uint32_t, std::function<void()>> pending;
-    std::deque<std::function<void()>> waiting;  ///< ops queued for credit
+    std::vector<PendingSlot> pending;  ///< direct-mapped by seq & mask
+    uint32_t pending_mask = 0;
+    sim::Ring<QueuedOp> waiting;  ///< ops parked for a credit
   };
 
   // WQEs per ring slot on each queue, by primitive.
@@ -173,20 +214,24 @@ class HyperLoopGroup final : public ReplicationGroup {
   uint32_t do_refill(size_t replica);
   void start_refill(size_t replica);
 
-  // Builds the patch descriptors for op `seq` of primitive `p` and
-  // returns the full metadata blob (concatenated per-hop descriptors).
-  std::vector<uint8_t> build_gwrite_blob(uint64_t seq, uint64_t offset,
-                                         uint32_t len, bool flush);
-  std::vector<uint8_t> build_gmemcpy_blob(uint64_t seq, uint64_t src,
-                                          uint64_t dst, uint32_t len,
-                                          bool flush);
-  std::vector<uint8_t> build_gcas_blob(uint64_t seq, uint64_t offset,
-                                       uint64_t expected, uint64_t desired,
-                                       const std::vector<bool>& exec);
+  PendingSlot& claim_slot(ClientChain& cc, uint64_t seq);
 
-  void submit(Prim p, std::function<void()> issue);
-  void issue_blob(Prim p, uint64_t seq, std::vector<uint8_t> blob,
-                  std::function<void()> on_ack);
+  // Stage the patch descriptors for op `seq` directly into the client's
+  // metadata staging ring slot (no temporary buffer); returns blob bytes.
+  uint32_t stage_gwrite_blob(uint64_t seq, uint64_t offset, uint32_t len,
+                             bool flush);
+  uint32_t stage_gmemcpy_blob(uint64_t seq, uint64_t src, uint64_t dst,
+                              uint32_t len, bool flush);
+  uint32_t stage_gcas_blob(uint64_t seq, uint64_t offset, uint64_t expected,
+                           uint64_t desired, ExecMap exec);
+
+  void issue_gwrite(uint64_t offset, uint32_t len, bool flush, Done done);
+  void issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len, bool flush,
+                     Done done);
+  void issue_gcas(uint64_t offset, uint64_t expected, uint64_t desired,
+                  ExecMap exec, CasDone done);
+  void dispatch(Prim p, QueuedOp&& op);
+  void post_meta_send(Prim p, uint64_t seq, uint32_t blob_len);
   void on_ack_cqe(Prim p);
 
   rdma::WqeDescriptor nop_desc() const;
@@ -197,8 +242,8 @@ class HyperLoopGroup final : public ReplicationGroup {
   ClientChain client_chain_[kNumPrims];
   rdma::Addr client_region_ = 0;
   rdma::Addr client_zeros_ = 0;  ///< gCAS initial (zero) result map source
+  std::vector<uint64_t> cas_scratch_;  ///< gCAS result-map read buffer
   OpCounters counters_;
-  bool stopped_ = false;
 };
 
 }  // namespace hyperloop::core

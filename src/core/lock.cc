@@ -1,9 +1,22 @@
 #include "core/lock.h"
 
 #include <cassert>
-#include <memory>
 
 namespace hyperloop::core {
+namespace {
+
+template <typename Op>
+uint32_t acquire_slot(std::vector<Op>& pool, std::vector<uint32_t>& free_list) {
+  if (free_list.empty()) {
+    pool.emplace_back();
+    return static_cast<uint32_t>(pool.size() - 1);
+  }
+  const uint32_t idx = free_list.back();
+  free_list.pop_back();
+  return idx;
+}
+
+}  // namespace
 
 GroupLockManager::GroupLockManager(ReplicationGroup& group,
                                    RegionLayout layout, sim::EventLoop& loop,
@@ -13,19 +26,35 @@ GroupLockManager::GroupLockManager(ReplicationGroup& group,
 void GroupLockManager::wr_lock(uint32_t lock_id, uint64_t owner,
                                LockDone done) {
   assert(owner != 0 && "owner id 0 means 'unlocked'");
-  wr_attempt(lock_id, owner, cfg_.max_attempts, std::move(done));
+  const uint32_t idx = acquire_slot(wr_ops_, wr_free_);
+  WrOp& op = wr_ops_[idx];
+  assert(!op.live);
+  op.lock_id = lock_id;
+  op.owner = owner;
+  op.attempts_left = cfg_.max_attempts;
+  op.live = true;
+  op.done = std::move(done);
+  wr_attempt(idx);
 }
 
-void GroupLockManager::wr_attempt(uint32_t lock_id, uint64_t owner,
-                                  int attempts_left, LockDone done) {
-  if (attempts_left <= 0) {
-    done(false);
+void GroupLockManager::wr_finish(uint32_t idx, bool acquired) {
+  WrOp& op = wr_ops_[idx];
+  LockDone done = std::move(op.done);
+  op.live = false;
+  wr_free_.push_back(idx);
+  done(acquired);
+}
+
+void GroupLockManager::wr_attempt(uint32_t idx) {
+  WrOp& op = wr_ops_[idx];
+  if (op.attempts_left <= 0) {
+    wr_finish(idx, false);
     return;
   }
   group_.gcas(
-      layout_.lock_offset(lock_id), 0, owner, all_replicas(),
-      [this, lock_id, owner, attempts_left, done = std::move(done)](
-          const std::vector<uint64_t>& result) mutable {
+      layout_.lock_offset(op.lock_id), 0, op.owner, all_replicas(),
+      [this, idx](const CasResult& result) {
+        WrOp& op = wr_ops_[idx];
         bool all = true, any = false;
         for (uint64_t old : result) {
           if (old == 0) {
@@ -36,127 +65,137 @@ void GroupLockManager::wr_attempt(uint32_t lock_id, uint64_t owner,
         }
         if (all) {
           ++stats_.wr_acquired;
-          wait_readers_drain(lock_id, owner, attempts_left,
-                             std::move(done));
+          wait_readers_drain(idx);
           return;
         }
         ++stats_.wr_conflicts;
-        auto retry = [this, lock_id, owner, attempts_left,
-                      done = std::move(done)]() mutable {
-          loop_.schedule_after(cfg_.retry_backoff,
-                               [this, lock_id, owner, attempts_left,
-                                done = std::move(done)]() mutable {
-                                 wr_attempt(lock_id, owner,
-                                            attempts_left - 1,
-                                            std::move(done));
-                               });
-        };
         if (any) {
           // Partial acquisition: undo exactly where we succeeded (§4.2).
           ++stats_.partial_undos;
-          std::vector<bool> undo(result.size());
-          for (size_t i = 0; i < result.size(); ++i) undo[i] = result[i] == 0;
-          group_.gcas(layout_.lock_offset(lock_id), owner, 0, undo,
-                      [retry = std::move(retry)](
-                          const std::vector<uint64_t>&) mutable { retry(); });
+          ExecMap undo = ExecMap::none();
+          for (size_t i = 0; i < result.size(); ++i) {
+            if (result[i] == 0) undo.set(i);
+          }
+          group_.gcas(layout_.lock_offset(op.lock_id), op.owner, 0, undo,
+                      [this, idx](const CasResult&) { wr_retry(idx); });
         } else {
-          retry();
+          wr_retry(idx);
         }
       });
 }
 
-void GroupLockManager::wait_readers_drain(uint32_t lock_id, uint64_t owner,
-                                          int attempts_left, LockDone done) {
-  if (attempts_left <= 0) {
-    // Give up: release the writer word we hold.
-    wr_unlock(lock_id, owner, [done = std::move(done)] { done(false); });
+void GroupLockManager::wr_retry(uint32_t idx) {
+  loop_.schedule_after(cfg_.retry_backoff, [this, idx] {
+    --wr_ops_[idx].attempts_left;
+    wr_attempt(idx);
+  });
+}
+
+void GroupLockManager::wait_readers_drain(uint32_t idx) {
+  WrOp& op = wr_ops_[idx];
+  if (op.attempts_left <= 0) {
+    // Give up: release the writer word we hold, then fail the caller.
+    group_.gcas(layout_.lock_offset(op.lock_id), op.owner, 0, all_replicas(),
+                [this, idx](const CasResult&) { wr_finish(idx, false); });
     return;
   }
   // gCAS(0 -> 0) is a NIC-side read of every replica's reader count.
-  group_.gcas(layout_.reader_offset(lock_id), 0, 0, all_replicas(),
-              [this, lock_id, owner, attempts_left,
-               done = std::move(done)](const std::vector<uint64_t>& counts) mutable {
+  group_.gcas(layout_.reader_offset(op.lock_id), 0, 0, all_replicas(),
+              [this, idx](const CasResult& counts) {
                 bool drained = true;
                 for (uint64_t c : counts) drained = drained && c == 0;
                 if (drained) {
-                  done(true);
+                  wr_finish(idx, true);
                   return;
                 }
-                loop_.schedule_after(
-                    cfg_.retry_backoff,
-                    [this, lock_id, owner, attempts_left,
-                     done = std::move(done)]() mutable {
-                      wait_readers_drain(lock_id, owner, attempts_left - 1,
-                                         std::move(done));
-                    });
+                loop_.schedule_after(cfg_.retry_backoff, [this, idx] {
+                  --wr_ops_[idx].attempts_left;
+                  wait_readers_drain(idx);
+                });
               });
 }
 
 void GroupLockManager::wr_unlock(uint32_t lock_id, uint64_t owner,
                                  Done done) {
+  const uint32_t idx = acquire_slot(unlock_ops_, unlock_free_);
+  UnlockOp& op = unlock_ops_[idx];
+  assert(!op.live);
+  op.live = true;
+  op.done = std::move(done);
   group_.gcas(layout_.lock_offset(lock_id), owner, 0, all_replicas(),
-              [done = std::move(done)](const std::vector<uint64_t>&) {
-                if (done) done();
-              });
+              [this, idx](const CasResult&) { unlock_finish(idx); });
+}
+
+void GroupLockManager::unlock_finish(uint32_t idx) {
+  UnlockOp& op = unlock_ops_[idx];
+  Done done = std::move(op.done);
+  op.live = false;
+  unlock_free_.push_back(idx);
+  if (done) done();
 }
 
 void GroupLockManager::rd_lock(uint32_t lock_id, size_t replica,
                                LockDone done) {
-  rd_attempt(lock_id, replica, cfg_.max_attempts, std::move(done));
+  const uint32_t idx = acquire_slot(rd_ops_, rd_free_);
+  RdOp& op = rd_ops_[idx];
+  assert(!op.live);
+  op.lock_id = lock_id;
+  op.replica = replica;
+  op.attempts_left = cfg_.max_attempts;
+  op.live = true;
+  op.done = std::move(done);
+  rd_attempt(idx);
 }
 
-void GroupLockManager::rd_attempt(uint32_t lock_id, size_t replica,
-                                  int attempts_left, LockDone done) {
-  if (attempts_left <= 0) {
-    done(false);
+void GroupLockManager::rd_finish(uint32_t idx, bool acquired) {
+  RdOp& op = rd_ops_[idx];
+  LockDone done = std::move(op.done);
+  op.live = false;
+  rd_free_.push_back(idx);
+  done(acquired);
+}
+
+void GroupLockManager::rd_attempt(uint32_t idx) {
+  RdOp& op = rd_ops_[idx];
+  if (op.attempts_left <= 0) {
+    rd_finish(idx, false);
     return;
   }
   // 1) Writer free on this replica?
-  group_.gcas(
-      layout_.lock_offset(lock_id), 0, 0, one_replica(replica),
-      [this, lock_id, replica, attempts_left,
-       done = std::move(done)](const std::vector<uint64_t>& w) mutable {
-        if (w[replica] != 0) {
-          loop_.schedule_after(cfg_.retry_backoff,
-                               [this, lock_id, replica, attempts_left,
-                                done = std::move(done)]() mutable {
-                                 rd_attempt(lock_id, replica,
-                                            attempts_left - 1,
-                                            std::move(done));
-                               });
-          return;
-        }
-        // 2) Increment the reader count.
-        cas_loop_add(
-            layout_.reader_offset(lock_id), replica, +1,
-            [this, lock_id, replica, attempts_left,
-             done = std::move(done)]() mutable {
-              // 3) Re-check the writer: if one slipped in, back out.
-              group_.gcas(
-                  layout_.lock_offset(lock_id), 0, 0, one_replica(replica),
-                  [this, lock_id, replica, attempts_left,
-                   done = std::move(done)](const std::vector<uint64_t>& w2) mutable {
-                    if (w2[replica] == 0) {
-                      ++stats_.rd_acquired;
-                      done(true);
-                      return;
-                    }
-                    cas_loop_add(
-                        layout_.reader_offset(lock_id), replica, -1,
-                        [this, lock_id, replica, attempts_left,
-                         done = std::move(done)]() mutable {
-                          loop_.schedule_after(
-                              cfg_.retry_backoff,
-                              [this, lock_id, replica, attempts_left,
-                               done = std::move(done)]() mutable {
-                                rd_attempt(lock_id, replica,
-                                           attempts_left - 1,
-                                           std::move(done));
-                              });
-                        });
-                  });
-            });
-      });
+  group_.gcas(layout_.lock_offset(op.lock_id), 0, 0,
+              ExecMap::one(op.replica), [this, idx](const CasResult& w) {
+                RdOp& op = rd_ops_[idx];
+                if (w[op.replica] != 0) {
+                  rd_retry(idx);
+                  return;
+                }
+                // 2) Increment the reader count.
+                cas_loop_add(layout_.reader_offset(op.lock_id), op.replica,
+                             +1, [this, idx] { rd_recheck(idx); });
+              });
+}
+
+void GroupLockManager::rd_recheck(uint32_t idx) {
+  RdOp& op = rd_ops_[idx];
+  // 3) Re-check the writer: if one slipped in, back out.
+  group_.gcas(layout_.lock_offset(op.lock_id), 0, 0,
+              ExecMap::one(op.replica), [this, idx](const CasResult& w2) {
+                RdOp& op = rd_ops_[idx];
+                if (w2[op.replica] == 0) {
+                  ++stats_.rd_acquired;
+                  rd_finish(idx, true);
+                  return;
+                }
+                cas_loop_add(layout_.reader_offset(op.lock_id), op.replica,
+                             -1, [this, idx] { rd_retry(idx); });
+              });
+}
+
+void GroupLockManager::rd_retry(uint32_t idx) {
+  loop_.schedule_after(cfg_.retry_backoff, [this, idx] {
+    --rd_ops_[idx].attempts_left;
+    rd_attempt(idx);
+  });
 }
 
 void GroupLockManager::rd_unlock(uint32_t lock_id, size_t replica,
@@ -166,25 +205,36 @@ void GroupLockManager::rd_unlock(uint32_t lock_id, size_t replica,
 
 void GroupLockManager::cas_loop_add(uint64_t offset, size_t replica,
                                     int64_t delta, Done done) {
-  // Read-modify-write via CAS retry: first probe with expected=0.
-  auto attempt = std::make_shared<std::function<void(uint64_t)>>();
-  *attempt = [this, offset, replica, delta, done = std::move(done),
-              attempt](uint64_t guess) mutable {
-    const uint64_t desired =
-        static_cast<uint64_t>(static_cast<int64_t>(guess) + delta);
-    group_.gcas(offset, guess, desired, one_replica(replica),
-                [replica, guess, attempt,
-                 done](const std::vector<uint64_t>& r) mutable {
-                  if (r[replica] == guess) {
-                    if (done) done();
-                    // Break the shared_ptr self-reference cycle.
-                    *attempt = nullptr;
-                    return;
-                  }
-                  (*attempt)(r[replica]);
-                });
-  };
-  (*attempt)(0);
+  const uint32_t idx = acquire_slot(add_ops_, add_free_);
+  AddOp& op = add_ops_[idx];
+  assert(!op.live);
+  op.offset = offset;
+  op.replica = replica;
+  op.delta = delta;
+  op.guess = 0;  // first probe assumes the count is zero
+  op.live = true;
+  op.done = std::move(done);
+  add_attempt(idx);
+}
+
+void GroupLockManager::add_attempt(uint32_t idx) {
+  AddOp& op = add_ops_[idx];
+  const uint64_t desired =
+      static_cast<uint64_t>(static_cast<int64_t>(op.guess) + op.delta);
+  group_.gcas(op.offset, op.guess, desired, ExecMap::one(op.replica),
+              [this, idx](const CasResult& r) {
+                AddOp& op = add_ops_[idx];
+                const uint64_t old = r[op.replica];
+                if (old == op.guess) {
+                  Done done = std::move(op.done);
+                  op.live = false;
+                  add_free_.push_back(idx);
+                  if (done) done();
+                  return;
+                }
+                op.guess = old;
+                add_attempt(idx);
+              });
 }
 
 }  // namespace hyperloop::core

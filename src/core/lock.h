@@ -13,14 +13,20 @@
 //
 // A gCAS(expected=0, desired=0) is used as a NIC-offloaded *read* of a
 // lock word (it swaps nothing and returns the current value).
+//
+// Every multi-step acquisition (attempt/backoff/undo loops) runs as a
+// small state machine over a pooled slot table: callbacks capture only
+// [this, slot index], so they always fit a SmallFn's inline storage and
+// the retry loops allocate nothing in steady state.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "core/group.h"
 #include "core/region_layout.h"
 #include "sim/event_loop.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::core {
 
@@ -38,8 +44,10 @@ class GroupLockManager {
     uint64_t rd_acquired = 0;
   };
 
-  using LockDone = std::function<void(bool acquired)>;
-  using Done = std::function<void()>;
+  /// Inline capacity for lock completion callbacks (matches the WAL's).
+  static constexpr size_t kCallbackCap = 64;
+  using LockDone = sim::SmallFn<void(bool acquired), kCallbackCap>;
+  using Done = sim::SmallFn<void(), kCallbackCap>;
 
   GroupLockManager(ReplicationGroup& group, RegionLayout layout,
                    sim::EventLoop& loop, Config cfg);
@@ -63,22 +71,61 @@ class GroupLockManager {
   const Stats& stats() const { return stats_; }
 
  private:
-  void wr_attempt(uint32_t lock_id, uint64_t owner, int attempts_left,
-                  LockDone done);
-  void wait_readers_drain(uint32_t lock_id, uint64_t owner, int attempts_left,
-                          LockDone done);
-  void rd_attempt(uint32_t lock_id, size_t replica, int attempts_left,
-                  LockDone done);
+  /// One in-flight write-lock acquisition.
+  struct WrOp {
+    uint32_t lock_id = 0;
+    uint64_t owner = 0;
+    int attempts_left = 0;
+    bool live = false;
+    LockDone done;
+  };
+
+  /// One in-flight read-lock acquisition.
+  struct RdOp {
+    uint32_t lock_id = 0;
+    size_t replica = 0;
+    int attempts_left = 0;
+    bool live = false;
+    LockDone done;
+  };
+
+  /// One in-flight write-lock release (a single gCAS, but the caller's
+  /// continuation can be a full-width Done — too wide for a CasDone
+  /// capture, so it parks in a slot and the wire callback carries only
+  /// [this, idx]).
+  struct UnlockOp {
+    bool live = false;
+    Done done;
+  };
+
+  /// One in-flight CAS read-modify-write loop (reader count add).
+  struct AddOp {
+    uint64_t offset = 0;
+    size_t replica = 0;
+    int64_t delta = 0;
+    uint64_t guess = 0;
+    bool live = false;
+    Done done;
+  };
+
+  void wr_attempt(uint32_t idx);
+  void wr_retry(uint32_t idx);
+  void wait_readers_drain(uint32_t idx);
+  void wr_finish(uint32_t idx, bool acquired);
+
+  void rd_attempt(uint32_t idx);
+  void rd_retry(uint32_t idx);
+  void rd_recheck(uint32_t idx);
+  void rd_finish(uint32_t idx, bool acquired);
+
+  void unlock_finish(uint32_t idx);
+
   void cas_loop_add(uint64_t offset, size_t replica, int64_t delta,
                     Done done);
+  void add_attempt(uint32_t idx);
 
-  std::vector<bool> all_replicas() const {
-    return std::vector<bool>(group_.group_size(), true);
-  }
-  std::vector<bool> one_replica(size_t i) const {
-    std::vector<bool> m(group_.group_size(), false);
-    m[i] = true;
-    return m;
+  ExecMap all_replicas() const {
+    return ExecMap::all(group_.group_size());
   }
 
   ReplicationGroup& group_;
@@ -86,6 +133,16 @@ class GroupLockManager {
   sim::EventLoop& loop_;
   Config cfg_;
   Stats stats_;
+
+  // Slot pools (grow to high water, then recycle via the free lists).
+  std::vector<WrOp> wr_ops_;
+  std::vector<uint32_t> wr_free_;
+  std::vector<RdOp> rd_ops_;
+  std::vector<uint32_t> rd_free_;
+  std::vector<UnlockOp> unlock_ops_;
+  std::vector<uint32_t> unlock_free_;
+  std::vector<AddOp> add_ops_;
+  std::vector<uint32_t> add_free_;
 };
 
 }  // namespace hyperloop::core

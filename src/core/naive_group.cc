@@ -10,6 +10,16 @@ using rdma::RecvWqe;
 using rdma::Sge;
 using rdma::Wqe;
 
+namespace {
+
+uint32_t next_pow2(uint32_t v) {
+  uint32_t n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
 NaiveRdmaGroup::NaiveRdmaGroup(Server& client, std::vector<Server*> replicas,
                                Config cfg)
     : client_(client), cfg_(cfg) {
@@ -37,6 +47,9 @@ NaiveRdmaGroup::NaiveRdmaGroup(Server& client, std::vector<Server*> replicas,
       client_.nic().create_qp(cq_down_, nullptr, cfg_.max_inflight * 4 + 16);
   qp_up_ = client_.nic().create_qp(nullptr, cq_up_, 16);
 
+  pending_.resize(next_pow2(cfg_.max_inflight * 2));
+  pending_mask_ = static_cast<uint32_t>(pending_.size() - 1);
+
   for (size_t i = 0; i < replicas_.size(); ++i) setup_replica(i);
   wire_chain();
 
@@ -52,7 +65,42 @@ NaiveRdmaGroup::NaiveRdmaGroup(Server& client, std::vector<Server*> replicas,
   cq_up_->arm_notify();
 }
 
-NaiveRdmaGroup::~NaiveRdmaGroup() { stopped_ = true; }
+NaiveRdmaGroup::~NaiveRdmaGroup() { stop(); }
+
+void NaiveRdmaGroup::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+
+  // Drop (never invoke) pending completion callbacks and queued commands.
+  for (PendingSlot& slot : pending_) {
+    if (!slot.live) continue;
+    slot.live = false;
+    slot.done.reset();
+    slot.cas_done.reset();
+    ++aborted_ops_;
+  }
+  aborted_ops_ += waiting_.size();
+  waiting_.clear();
+  inflight_ = 0;
+
+  // Release NIC resources; QPs before the CQs they reference.
+  for (Replica& r : replicas_) {
+    rdma::Nic& nic = r.server->nic();
+    if (r.qp_prev) nic.destroy_qp(r.qp_prev);
+    if (r.qp_next) nic.destroy_qp(r.qp_next);
+    if (r.cq_recv) nic.destroy_cq(r.cq_recv);
+    if (r.cq_send) nic.destroy_cq(r.cq_send);
+    r.qp_prev = r.qp_next = nullptr;
+    r.cq_recv = r.cq_send = nullptr;
+  }
+  rdma::Nic& nic = client_.nic();
+  if (qp_down_) nic.destroy_qp(qp_down_);
+  if (qp_up_) nic.destroy_qp(qp_up_);
+  if (cq_down_) nic.destroy_cq(cq_down_);
+  if (cq_up_) nic.destroy_cq(cq_up_);
+  qp_down_ = qp_up_ = nullptr;
+  cq_down_ = cq_up_ = nullptr;
+}
 
 void NaiveRdmaGroup::setup_replica(size_t i) {
   Replica& r = replicas_[i];
@@ -276,10 +324,9 @@ void NaiveRdmaGroup::on_client_ack() {
     const uint64_t slot = cqe.wr_id;
     Cmd cmd = client_.mem().read_obj<Cmd>(client_ack_ring_ +
                                           slot * sizeof(Cmd));
-    auto it = pending_.find(cmd.seq);
-    if (it == pending_.end()) continue;
-    auto handler = std::move(it->second);
-    pending_.erase(it);
+    PendingSlot& ps = pending_[cmd.seq & pending_mask_];
+    if (!ps.live || ps.seq != cmd.seq) continue;
+    ps.live = false;
 
     RecvWqe r;
     r.wr_id = slot;
@@ -288,24 +335,67 @@ void NaiveRdmaGroup::on_client_ack() {
     client_.nic().post_recv(qp_up_, std::move(r));
 
     --inflight_;
-    handler(cmd);
+    if (cmd.type == 2) {
+      CasDone handler = std::move(ps.cas_done);
+      handler(CasResult(cmd.result, replicas_.size()));
+    } else {
+      Done handler = std::move(ps.done);
+      if (handler) handler();
+    }
     if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
-      auto next = std::move(waiting_.front());
+      QueuedCmd next = std::move(waiting_.front());
       waiting_.pop_front();
       ++inflight_;
-      next();
+      issue_cmd(next.cmd, std::move(next.done), std::move(next.cas_done));
     }
   }
   cq_up_->arm_notify();
 }
 
-void NaiveRdmaGroup::submit(std::function<void()> issue) {
+void NaiveRdmaGroup::submit_cmd(Cmd cmd, Done done, CasDone cas_done) {
+  assert(!stopped_ && "primitive on a stopped group");
   if (inflight_ >= cfg_.max_inflight) {
-    waiting_.push_back(std::move(issue));
+    QueuedCmd q;
+    q.cmd = cmd;
+    q.done = std::move(done);
+    q.cas_done = std::move(cas_done);
+    waiting_.push_back(std::move(q));
     return;
   }
   ++inflight_;
-  issue();
+  issue_cmd(cmd, std::move(done), std::move(cas_done));
+}
+
+void NaiveRdmaGroup::issue_cmd(Cmd cmd, Done done, CasDone cas_done) {
+  cmd.seq = next_seq_++;
+  PendingSlot& ps = pending_[cmd.seq & pending_mask_];
+  assert(!ps.live && "pending slot table wrapped past the live window");
+  ps.seq = cmd.seq;
+  ps.live = true;
+  ps.done = std::move(done);
+  ps.cas_done = std::move(cas_done);
+
+  if (cmd.type == 1) {
+    // The client's copy of the region must stay in sync (head of chain).
+    client_.mem().copy(client_region_ + cmd.dst, client_region_ + cmd.offset,
+                       cmd.len);
+    client_.nvm().persist(client_region_ + cmd.dst, cmd.len);
+  }
+
+  const uint64_t slot = cmd.seq % (cfg_.max_inflight * 2);
+  const Addr cmd_addr = client_cmd_ring_ + slot * sizeof(Cmd);
+  client_.mem().write_obj(cmd_addr, cmd);
+
+  if (cmd.type == 0 && cmd.len > 0) {
+    const Replica& r0 = replicas_.front();
+    client_.nic().post_send(
+        qp_down_,
+        rdma::make_write(client_region_ + cmd.offset, 0,
+                         r0.data_base + cmd.offset, r0.data_mr.rkey,
+                         static_cast<uint32_t>(cmd.len)));
+  }
+  client_.nic().post_send(qp_down_,
+                          rdma::make_send(cmd_addr, 0, sizeof(Cmd)));
 }
 
 // ------------------------------------------------------------- primitives --
@@ -313,85 +403,37 @@ void NaiveRdmaGroup::submit(std::function<void()> issue) {
 void NaiveRdmaGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
                             Done done) {
   assert(offset + len <= cfg_.region_size);
-  submit([this, offset, len, flush, done = std::move(done)] {
-    Cmd cmd;
-    cmd.type = 0;
-    cmd.flush = flush ? 1 : 0;
-    cmd.seq = next_seq_++;
-    cmd.offset = offset;
-    cmd.len = len;
-    pending_.emplace(cmd.seq,
-                     [done = std::move(done)](const Cmd&) { done(); });
-
-    const uint64_t slot = cmd.seq % (cfg_.max_inflight * 2);
-    const Addr cmd_addr = client_cmd_ring_ + slot * sizeof(Cmd);
-    client_.mem().write_obj(cmd_addr, cmd);
-
-    const Replica& r0 = replicas_.front();
-    if (len > 0) {
-      client_.nic().post_send(
-          qp_down_, rdma::make_write(client_region_ + offset, 0,
-                                     r0.data_base + offset, r0.data_mr.rkey,
-                                     len));
-    }
-    client_.nic().post_send(qp_down_,
-                            rdma::make_send(cmd_addr, 0, sizeof(Cmd)));
-  });
+  Cmd cmd;
+  cmd.type = 0;
+  cmd.flush = flush ? 1 : 0;
+  cmd.offset = offset;
+  cmd.len = len;
+  submit_cmd(cmd, std::move(done), CasDone{});
 }
 
 void NaiveRdmaGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
                              uint32_t len, bool flush, Done done) {
   assert(src_offset + len <= cfg_.region_size);
   assert(dst_offset + len <= cfg_.region_size);
-  submit([this, src_offset, dst_offset, len, flush, done = std::move(done)] {
-    client_.mem().copy(client_region_ + dst_offset,
-                       client_region_ + src_offset, len);
-    client_.nvm().persist(client_region_ + dst_offset, len);
-    Cmd cmd;
-    cmd.type = 1;
-    cmd.flush = flush ? 1 : 0;
-    cmd.seq = next_seq_++;
-    cmd.offset = src_offset;
-    cmd.dst = dst_offset;
-    cmd.len = len;
-    pending_.emplace(cmd.seq,
-                     [done = std::move(done)](const Cmd&) { done(); });
-
-    const uint64_t slot = cmd.seq % (cfg_.max_inflight * 2);
-    const Addr cmd_addr = client_cmd_ring_ + slot * sizeof(Cmd);
-    client_.mem().write_obj(cmd_addr, cmd);
-    client_.nic().post_send(qp_down_,
-                            rdma::make_send(cmd_addr, 0, sizeof(Cmd)));
-  });
+  Cmd cmd;
+  cmd.type = 1;
+  cmd.flush = flush ? 1 : 0;
+  cmd.offset = src_offset;
+  cmd.dst = dst_offset;
+  cmd.len = len;
+  submit_cmd(cmd, std::move(done), CasDone{});
 }
 
 void NaiveRdmaGroup::gcas(uint64_t offset, uint64_t expected,
-                          uint64_t desired, const std::vector<bool>& exec_map,
-                          CasDone done) {
+                          uint64_t desired, ExecMap exec_map, CasDone done) {
   assert(offset + 8 <= cfg_.region_size);
-  submit([this, offset, expected, desired, exec_map,
-          done = std::move(done)] {
-    Cmd cmd;
-    cmd.type = 2;
-    cmd.seq = next_seq_++;
-    cmd.offset = offset;
-    cmd.expected = expected;
-    cmd.desired = desired;
-    for (size_t i = 0; i < exec_map.size() && i < kMaxGroup; ++i) {
-      if (exec_map[i]) cmd.exec_mask |= uint64_t{1} << i;
-    }
-    const size_t group = replicas_.size();
-    pending_.emplace(cmd.seq, [done = std::move(done), group](const Cmd& c) {
-      std::vector<uint64_t> result(c.result, c.result + group);
-      done(result);
-    });
-
-    const uint64_t slot = cmd.seq % (cfg_.max_inflight * 2);
-    const Addr cmd_addr = client_cmd_ring_ + slot * sizeof(Cmd);
-    client_.mem().write_obj(cmd_addr, cmd);
-    client_.nic().post_send(qp_down_,
-                            rdma::make_send(cmd_addr, 0, sizeof(Cmd)));
-  });
+  Cmd cmd;
+  cmd.type = 2;
+  cmd.offset = offset;
+  cmd.expected = expected;
+  cmd.desired = desired;
+  cmd.exec_mask = exec_map.bits;
+  submit_cmd(cmd, Done{}, std::move(done));
 }
 
 void NaiveRdmaGroup::gflush(Done done) {

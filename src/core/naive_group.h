@@ -25,14 +25,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/group.h"
 #include "core/server.h"
 #include "rdma/nic.h"
+#include "sim/ring.h"
 
 namespace hyperloop::core {
 
@@ -67,8 +65,9 @@ class NaiveRdmaGroup final : public ReplicationGroup {
   void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
                bool flush, Done done) override;
   void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-            const std::vector<bool>& exec_map, CasDone done) override;
+            ExecMap exec_map, CasDone done) override;
   void gflush(Done done) override;
+  void stop() override;
   void client_store(uint64_t offset, const void* src, uint32_t len) override;
   void client_load(uint64_t offset, void* dst, uint32_t len) const override;
   void replica_load(size_t i, uint64_t offset, void* dst,
@@ -118,6 +117,24 @@ class NaiveRdmaGroup final : public ReplicationGroup {
     sim::ProcessId pid = 0;
   };
 
+  /// One in-flight command, direct-mapped by seq & pending_mask_ (ACKs
+  /// come back in chain FIFO order, so live seqs form a window no wider
+  /// than max_inflight and never collide in a 2x power-of-two table).
+  struct PendingSlot {
+    uint32_t seq = 0;
+    bool live = false;
+    Done done;
+    CasDone cas_done;
+  };
+
+  /// A command parked while the credit window is full; the seq field is
+  /// assigned when the command is finally issued.
+  struct QueuedCmd {
+    Cmd cmd;
+    Done done;
+    CasDone cas_done;
+  };
+
   void setup_replica(size_t i);
   void wire_chain();
   void shared_poll_loop(size_t i);
@@ -127,7 +144,8 @@ class NaiveRdmaGroup final : public ReplicationGroup {
   void execute_and_forward(size_t i, Cmd cmd);
   void post_recv_slot(Replica& r, uint64_t slot);
   void on_client_ack();
-  void submit(std::function<void()> issue);
+  void issue_cmd(Cmd cmd, Done done, CasDone cas_done);
+  void submit_cmd(Cmd cmd, Done done, CasDone cas_done);
 
   Server& client_;
   std::vector<Replica> replicas_;
@@ -144,9 +162,9 @@ class NaiveRdmaGroup final : public ReplicationGroup {
 
   uint32_t next_seq_ = 0;
   uint32_t inflight_ = 0;
-  std::unordered_map<uint32_t, std::function<void(const Cmd&)>> pending_;
-  std::deque<std::function<void()>> waiting_;
-  bool stopped_ = false;
+  std::vector<PendingSlot> pending_;  ///< direct-mapped by seq & mask
+  uint32_t pending_mask_ = 0;
+  sim::Ring<QueuedCmd> waiting_;  ///< commands parked for a credit
 };
 
 }  // namespace hyperloop::core

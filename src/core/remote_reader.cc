@@ -28,9 +28,7 @@ RemoteReader::RemoteReader(Server& client, Server& target,
 void RemoteReader::read(uint64_t offset, uint32_t len, ReadDone done) {
   assert(len <= slot_size_ && "read larger than bounce slot");
   if (free_slots_.empty()) {
-    waiting_.push_back([this, offset, len, done = std::move(done)]() mutable {
-      issue(offset, len, std::move(done));
-    });
+    waiting_.push_back(QueuedRead{offset, len, std::move(done)});
     return;
   }
   issue(offset, len, std::move(done));
@@ -40,7 +38,7 @@ void RemoteReader::issue(uint64_t offset, uint32_t len, ReadDone done) {
   const uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
   const uint64_t wr_id = next_wr_id_++;
-  pending_.emplace(wr_id, Pending{slot, len, std::move(done)});
+  pending_.push_back(Pending{wr_id, slot, len, std::move(done)});
   ++reads_issued_;
   client_.nic().post_send(
       qp_, rdma::make_read(bounce_base_ + uint64_t{slot} * slot_size_, 0,
@@ -50,19 +48,19 @@ void RemoteReader::issue(uint64_t offset, uint32_t len, ReadDone done) {
 void RemoteReader::on_completion() {
   rdma::Cqe cqe;
   while (cq_->poll(&cqe)) {
-    auto it = pending_.find(cqe.wr_id);
-    if (it == pending_.end()) continue;
-    Pending p = std::move(it->second);
-    pending_.erase(it);
+    assert(!pending_.empty());
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    assert(p.wr_id == cqe.wr_id && "READ completions must be FIFO");
     std::vector<uint8_t> data(p.len);
     client_.mem().read(bounce_base_ + uint64_t{p.slot} * slot_size_,
                        data.data(), p.len);
     free_slots_.push_back(p.slot);
     p.done(std::move(data));
     if (!waiting_.empty() && !free_slots_.empty()) {
-      auto next = std::move(waiting_.front());
+      QueuedRead next = std::move(waiting_.front());
       waiting_.pop_front();
-      next();
+      issue(next.offset, next.len, std::move(next.done));
     }
   }
   cq_->arm_notify();

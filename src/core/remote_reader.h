@@ -7,13 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/server.h"
 #include "rdma/nic.h"
+#include "sim/ring.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::core {
 
@@ -24,7 +23,7 @@ class RemoteReader {
   RemoteReader(Server& client, Server& target, rdma::Addr remote_base,
                uint32_t rkey, uint32_t slots = 32, uint32_t slot_size = 16384);
 
-  using ReadDone = std::function<void(std::vector<uint8_t>)>;
+  using ReadDone = sim::SmallFn<void(std::vector<uint8_t>), 64>;
 
   /// Reads `len` bytes at region `offset` from the target replica.
   /// Requires len <= slot_size; reads queue when all slots are busy.
@@ -33,9 +32,19 @@ class RemoteReader {
   uint64_t reads_issued() const { return reads_issued_; }
 
  private:
+  /// One outstanding READ. The QP completes one-sided READs in post
+  /// order, so in-flight reads form a FIFO.
   struct Pending {
-    uint32_t slot;
-    uint32_t len;
+    uint64_t wr_id = 0;
+    uint32_t slot = 0;
+    uint32_t len = 0;
+    ReadDone done;
+  };
+
+  /// A read parked until a bounce slot frees up.
+  struct QueuedRead {
+    uint64_t offset = 0;
+    uint32_t len = 0;
     ReadDone done;
   };
 
@@ -51,8 +60,8 @@ class RemoteReader {
   rdma::Addr bounce_base_ = 0;
   std::vector<uint32_t> free_slots_;
   uint64_t next_wr_id_ = 1;
-  std::unordered_map<uint64_t, Pending> pending_;
-  std::deque<std::function<void()>> waiting_;
+  sim::Ring<Pending> pending_;     ///< FIFO of in-flight READs
+  sim::Ring<QueuedRead> waiting_;  ///< reads parked for a bounce slot
   uint64_t reads_issued_ = 0;
 };
 

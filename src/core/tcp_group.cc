@@ -14,6 +14,12 @@ std::vector<uint8_t> pack(const void* hdr, size_t hdr_len,
   return msg;
 }
 
+uint32_t next_pow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 TcpReplicationGroup::TcpReplicationGroup(Server& client,
@@ -28,6 +34,9 @@ TcpReplicationGroup::TcpReplicationGroup(Server& client,
   replicas_.resize(replicas.size());
   client_region_ = client_.nvm().alloc(cfg_.region_size, 4096);
   client_pid_ = client_.sched().create_process(client_.name() + "-tcp-cli");
+
+  pending_.resize(next_pow2(cfg_.max_inflight * 2));
+  pending_mask_ = static_cast<uint32_t>(pending_.size()) - 1;
 
   client_.tcp().listen(cfg_.port, client_pid_,
                        [this](rdma::NicId, uint16_t, std::vector<uint8_t> m) {
@@ -47,7 +56,24 @@ TcpReplicationGroup::TcpReplicationGroup(Server& client,
   }
 }
 
-TcpReplicationGroup::~TcpReplicationGroup() { stopped_ = true; }
+TcpReplicationGroup::~TcpReplicationGroup() { stop(); }
+
+void TcpReplicationGroup::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (PendingSlot& slot : pending_) {
+    if (!slot.live) continue;
+    slot.live = false;
+    slot.done.reset();
+    slot.cas_done.reset();
+    ++aborted_ops_;
+  }
+  aborted_ops_ += waiting_.size();
+  waiting_.clear();
+  inflight_ = 0;
+  // No QPs/CQs to tear down: this baseline rides the kernel TCP stack.
+  // Listeners stay registered but every handler early-outs on stopped_.
+}
 
 void TcpReplicationGroup::on_replica_message(size_t i,
                                              std::vector<uint8_t> msg) {
@@ -58,7 +84,6 @@ void TcpReplicationGroup::on_replica_message(size_t i,
   std::vector<uint8_t> data(msg.begin() + sizeof(Header), msg.end());
 
   Replica& r = replicas_[i];
-  rdma::HostMemory& mem = r.server->mem();
 
   // Execution cost on the replica CPU (application of the command); the
   // TcpStack already charged the receive-path cost before this handler.
@@ -133,27 +158,58 @@ void TcpReplicationGroup::on_client_ack(std::vector<uint8_t> msg) {
   assert(msg.size() >= sizeof(Header));
   Header hdr;
   std::memcpy(&hdr, msg.data(), sizeof(hdr));
-  auto it = pending_.find(hdr.seq);
-  if (it == pending_.end()) return;
-  auto handler = std::move(it->second);
-  pending_.erase(it);
+  PendingSlot& slot = pending_[hdr.seq & pending_mask_];
+  if (!slot.live || slot.seq != hdr.seq) return;
+  slot.live = false;
   --inflight_;
-  handler(hdr);
+  if (hdr.type == 2) {
+    CasDone handler = std::move(slot.cas_done);
+    slot.done.reset();
+    handler(CasResult(hdr.result, replicas_.size()));
+  } else {
+    Done handler = std::move(slot.done);
+    slot.cas_done.reset();
+    if (handler) handler();
+  }
   if (!waiting_.empty() && inflight_ < cfg_.max_inflight) {
-    auto next = std::move(waiting_.front());
+    QueuedOp next = std::move(waiting_.front());
     waiting_.pop_front();
     ++inflight_;
-    next();
+    issue(next.hdr, std::move(next.done), std::move(next.cas_done));
   }
 }
 
-void TcpReplicationGroup::submit(std::function<void()> issue) {
+void TcpReplicationGroup::submit(Header hdr, Done done, CasDone cas_done) {
   if (inflight_ >= cfg_.max_inflight) {
-    waiting_.push_back(std::move(issue));
+    waiting_.push_back(
+        QueuedOp{hdr, std::move(done), std::move(cas_done)});
     return;
   }
   ++inflight_;
-  issue();
+  issue(hdr, std::move(done), std::move(cas_done));
+}
+
+void TcpReplicationGroup::issue(Header hdr, Done done, CasDone cas_done) {
+  hdr.seq = next_seq_++;
+  PendingSlot& slot = pending_[hdr.seq & pending_mask_];
+  assert(!slot.live && "pending window wider than the slot table");
+  slot.seq = hdr.seq;
+  slot.live = true;
+  slot.done = std::move(done);
+  slot.cas_done = std::move(cas_done);
+
+  std::vector<uint8_t> data;
+  if (hdr.type == 0 && hdr.len > 0) {
+    data.resize(hdr.len);
+    client_.mem().read(client_region_ + hdr.offset, data.data(),
+                       static_cast<uint32_t>(hdr.len));
+  } else if (hdr.type == 1) {
+    client_.mem().copy(client_region_ + hdr.dst, client_region_ + hdr.offset,
+                       static_cast<uint32_t>(hdr.len));
+    client_.nvm().persist(client_region_ + hdr.dst,
+                          static_cast<uint32_t>(hdr.len));
+  }
+  send_cmd(hdr, std::move(data));
 }
 
 void TcpReplicationGroup::send_cmd(Header hdr, std::vector<uint8_t> data) {
@@ -164,65 +220,38 @@ void TcpReplicationGroup::send_cmd(Header hdr, std::vector<uint8_t> data) {
 void TcpReplicationGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
                                  Done done) {
   assert(offset + len <= cfg_.region_size);
-  submit([this, offset, len, flush, done = std::move(done)] {
-    Header hdr;
-    hdr.type = 0;
-    hdr.flush = flush ? 1 : 0;
-    hdr.seq = next_seq_++;
-    hdr.offset = offset;
-    hdr.len = len;
-    pending_.emplace(hdr.seq,
-                     [done = std::move(done)](const Header&) { done(); });
-    std::vector<uint8_t> data(len);
-    client_.mem().read(client_region_ + offset, data.data(), len);
-    send_cmd(hdr, std::move(data));
-  });
+  Header hdr;
+  hdr.type = 0;
+  hdr.flush = flush ? 1 : 0;
+  hdr.offset = offset;
+  hdr.len = len;
+  submit(hdr, std::move(done), CasDone{});
 }
 
 void TcpReplicationGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,
                                   uint32_t len, bool flush, Done done) {
   assert(src_offset + len <= cfg_.region_size);
   assert(dst_offset + len <= cfg_.region_size);
-  submit([this, src_offset, dst_offset, len, flush, done = std::move(done)] {
-    client_.mem().copy(client_region_ + dst_offset,
-                       client_region_ + src_offset, len);
-    client_.nvm().persist(client_region_ + dst_offset, len);
-    Header hdr;
-    hdr.type = 1;
-    hdr.flush = flush ? 1 : 0;
-    hdr.seq = next_seq_++;
-    hdr.offset = src_offset;
-    hdr.dst = dst_offset;
-    hdr.len = len;
-    pending_.emplace(hdr.seq,
-                     [done = std::move(done)](const Header&) { done(); });
-    send_cmd(hdr, {});
-  });
+  Header hdr;
+  hdr.type = 1;
+  hdr.flush = flush ? 1 : 0;
+  hdr.offset = src_offset;
+  hdr.dst = dst_offset;
+  hdr.len = len;
+  submit(hdr, std::move(done), CasDone{});
 }
 
 void TcpReplicationGroup::gcas(uint64_t offset, uint64_t expected,
-                               uint64_t desired,
-                               const std::vector<bool>& exec_map,
+                               uint64_t desired, ExecMap exec_map,
                                CasDone done) {
   assert(offset + 8 <= cfg_.region_size);
-  submit([this, offset, expected, desired, exec_map,
-          done = std::move(done)] {
-    Header hdr;
-    hdr.type = 2;
-    hdr.seq = next_seq_++;
-    hdr.offset = offset;
-    hdr.expected = expected;
-    hdr.desired = desired;
-    for (size_t i = 0; i < exec_map.size() && i < kMaxGroup; ++i) {
-      if (exec_map[i]) hdr.exec_mask |= uint64_t{1} << i;
-    }
-    const size_t group = replicas_.size();
-    pending_.emplace(hdr.seq,
-                     [done = std::move(done), group](const Header& h) {
-                       done(std::vector<uint64_t>(h.result, h.result + group));
-                     });
-    send_cmd(hdr, {});
-  });
+  Header hdr;
+  hdr.type = 2;
+  hdr.offset = offset;
+  hdr.expected = expected;
+  hdr.desired = desired;
+  hdr.exec_mask = exec_map.bits;
+  submit(hdr, Done{}, std::move(done));
 }
 
 void TcpReplicationGroup::gflush(Done done) {

@@ -10,13 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/group.h"
 #include "core/server.h"
+#include "sim/ring.h"
 
 namespace hyperloop::core {
 
@@ -46,8 +44,9 @@ class TcpReplicationGroup final : public ReplicationGroup {
   void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
                bool flush, Done done) override;
   void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
-            const std::vector<bool>& exec_map, CasDone done) override;
+            ExecMap exec_map, CasDone done) override;
   void gflush(Done done) override;
+  void stop() override;
   void client_store(uint64_t offset, const void* src, uint32_t len) override;
   void client_load(uint64_t offset, void* dst, uint32_t len) const override;
   void replica_load(size_t i, uint64_t offset, void* dst,
@@ -84,10 +83,29 @@ class TcpReplicationGroup final : public ReplicationGroup {
     sim::ProcessId pid = 0;
   };
 
+  /// One in-flight command, direct-mapped by seq & pending_mask_ (ACKs
+  /// come back in chain FIFO order, so live seqs form a window no wider
+  /// than max_inflight).
+  struct PendingSlot {
+    uint32_t seq = 0;
+    bool live = false;
+    Done done;
+    CasDone cas_done;
+  };
+
+  /// A command parked while the credit window is full; seq is assigned
+  /// when the command is finally issued.
+  struct QueuedOp {
+    Header hdr;
+    Done done;
+    CasDone cas_done;
+  };
+
   void on_replica_message(size_t i, std::vector<uint8_t> msg);
   void forward(size_t i, Header hdr, std::vector<uint8_t> data);
   void on_client_ack(std::vector<uint8_t> msg);
-  void submit(std::function<void()> issue);
+  void submit(Header hdr, Done done, CasDone cas_done);
+  void issue(Header hdr, Done done, CasDone cas_done);
   void send_cmd(Header hdr, std::vector<uint8_t> data);
 
   Server& client_;
@@ -98,9 +116,9 @@ class TcpReplicationGroup final : public ReplicationGroup {
 
   uint32_t next_seq_ = 0;
   uint32_t inflight_ = 0;
-  std::unordered_map<uint32_t, std::function<void(const Header&)>> pending_;
-  std::deque<std::function<void()>> waiting_;
-  bool stopped_ = false;
+  std::vector<PendingSlot> pending_;  ///< direct-mapped by seq & mask
+  uint32_t pending_mask_ = 0;
+  sim::Ring<QueuedOp> waiting_;  ///< commands parked for a credit
 };
 
 }  // namespace hyperloop::core

@@ -42,23 +42,21 @@ struct TwoPhaseCoordinator::TxnCtx {
   std::vector<Write> writes;
   std::vector<size_t> parts;  // involved partitions, ascending
   std::vector<std::pair<size_t, uint32_t>> lock_order;
-  size_t next_lock = 0;
-  size_t acks = 0;
-  std::function<void(bool)> done;
+  size_t execs_done = 0;
+  TxnDone done;
 };
 
 TwoPhaseCoordinator::TwoPhaseCoordinator(sim::EventLoop& loop,
                                          std::vector<PartitionCtx> partitions,
                                          Config cfg)
     : loop_(loop), parts_(std::move(partitions)), cfg_(cfg) {
-  for (const auto& p : parts_) {
+  for ([[maybe_unused]] const auto& p : parts_) {
     assert(p.group != nullptr && p.wal != nullptr && p.locks != nullptr);
     assert(app_data_base() < p.layout.db_size());
   }
 }
 
-void TwoPhaseCoordinator::execute(std::vector<Write> writes,
-                                  std::function<void(bool)> done) {
+void TwoPhaseCoordinator::execute(std::vector<Write> writes, TxnDone done) {
   auto t = std::make_shared<TxnCtx>();
   t->id = next_txn_++;
   t->writes = std::move(writes);
@@ -80,114 +78,122 @@ void TwoPhaseCoordinator::execute(std::vector<Write> writes,
 void TwoPhaseCoordinator::acquire_locks(std::shared_ptr<TxnCtx> t,
                                         size_t idx) {
   if (idx == t->lock_order.size()) {
-    prepare_all(std::move(t));
+    prepare_step(std::move(t), 0);
     return;
   }
   const auto [part, lock] = t->lock_order[idx];
-  parts_[part].locks->wr_lock(lock, t->id, [this, t, idx](bool ok) mutable {
-    if (!ok) {
-      // Release what we hold (in reverse) and abort; nothing was logged.
-      auto release = std::make_shared<std::function<void(size_t)>>();
-      *release = [this, t, idx, release](size_t i) {
-        if (i == 0) {
-          finish(t, false);
-          loop_.schedule_after(0, [release] { *release = nullptr; });
+  const uint64_t owner = t->id;
+  parts_[part].locks->wr_lock(
+      lock, owner, [this, t = std::move(t), idx](bool ok) mutable {
+        if (!ok) {
+          // Release what we hold (in reverse) and abort; nothing was
+          // logged.
+          abort_release(std::move(t), idx);
           return;
         }
-        const auto [p2, l2] = t->lock_order[i - 1];
-        parts_[p2].locks->wr_unlock(l2, t->id,
-                                    [release, i] { (*release)(i - 1); });
-      };
-      (*release)(idx);
-      return;
-    }
-    acquire_locks(std::move(t), idx + 1);
-  });
+        acquire_locks(std::move(t), idx + 1);
+      });
 }
 
-void TwoPhaseCoordinator::prepare_all(std::shared_ptr<TxnCtx> t) {
-  // Prepare partitions one at a time (simple and restartable under log
-  // backpressure); each step retries itself until its append is accepted.
-  auto step = std::make_shared<std::function<void(size_t)>>();
-  *step = [this, t, step](size_t idx) {
-    if (idx == t->parts.size()) {
-      commit_all(t);
-      loop_.schedule_after(0, [step] { *step = nullptr; });
-      return;
-    }
-    const size_t part = t->parts[idx];
-    std::vector<const Write*> mine;
-    for (const Write& w : t->writes) {
-      if (w.partition == part) mine.push_back(&w);
-    }
-    std::vector<ReplicatedWal::Entry> entries;
-    entries.push_back({staging_offset(t->id), encode_staging(mine)});
-    entries.push_back({status_offset(t->id), encode_status(t->id, kPrepared)});
-    const bool ok = parts_[part].wal->append(
-        entries, [step, idx](uint64_t) { (*step)(idx + 1); });
-    if (!ok) {
-      loop_.schedule_after(sim::usec(200), [step, idx] { (*step)(idx); });
-    }
-  };
-  (*step)(0);
+void TwoPhaseCoordinator::abort_release(std::shared_ptr<TxnCtx> t, size_t i) {
+  if (i == 0) {
+    finish(std::move(t), false);
+    return;
+  }
+  const auto [part, lock] = t->lock_order[i - 1];
+  const uint64_t owner = t->id;
+  parts_[part].locks->wr_unlock(
+      lock, owner, [this, t = std::move(t), i]() mutable {
+        abort_release(std::move(t), i - 1);
+      });
 }
 
-void TwoPhaseCoordinator::commit_all(std::shared_ptr<TxnCtx> t) {
-  // Phase 2, per partition in order: commit-record append (the global
-  // commit point is the last partition's durable append), then two
-  // ExecuteAndAdvance calls per partition (this txn's prepare and commit
-  // records), then unlock everything.
-  auto after_execs = std::make_shared<size_t>(0);
-  const size_t exec_needed = 2 * t->parts.size();
+// Prepare partitions one at a time (simple and restartable under log
+// backpressure); each step retries itself until its append is accepted.
+void TwoPhaseCoordinator::prepare_step(std::shared_ptr<TxnCtx> t,
+                                       size_t idx) {
+  if (idx == t->parts.size()) {
+    commit_step(std::move(t), 0);
+    return;
+  }
+  const size_t part = t->parts[idx];
+  std::vector<const Write*> mine;
+  for (const Write& w : t->writes) {
+    if (w.partition == part) mine.push_back(&w);
+  }
+  std::vector<ReplicatedWal::Entry> entries;
+  entries.push_back({staging_offset(t->id), encode_staging(mine)});
+  entries.push_back({status_offset(t->id), encode_status(t->id, kPrepared)});
+  const bool ok = parts_[part].wal->append(
+      entries, [this, t, idx](uint64_t) mutable {
+        prepare_step(std::move(t), idx + 1);
+      });
+  if (!ok) {
+    loop_.schedule_after(sim::usec(200), [this, t = std::move(t), idx] {
+      prepare_step(t, idx);
+    });
+  }
+}
 
-  auto run_execs = [this, t, after_execs, exec_needed] {
-    for (size_t part : t->parts) {
-      for (int k = 0; k < 2; ++k) {
-        auto one_done = [this, t, after_execs, exec_needed] {
-          if (++*after_execs < exec_needed) return;
-          // Release all locks, then report commit.
-          auto release = std::make_shared<std::function<void(size_t)>>();
-          *release = [this, t, release](size_t i) {
-            if (i == t->lock_order.size()) {
-              finish(t, true);
-              loop_.schedule_after(0, [release] { *release = nullptr; });
-              return;
-            }
-            const auto [p2, l2] = t->lock_order[i];
-            parts_[p2].locks->wr_unlock(l2, t->id,
-                                        [release, i] { (*release)(i + 1); });
-          };
-          (*release)(0);
-        };
-        // A concurrent transaction's ExecuteAndAdvance may already have
-        // consumed our record (the log drains FIFO, globally balanced):
-        // an empty log here means our records are applied or in flight.
-        if (!parts_[part].wal->execute_and_advance(one_done)) one_done();
+// Phase 2, per partition in order: commit-record append (the global
+// commit point is the last partition's durable append), then two
+// ExecuteAndAdvance calls per partition (this txn's prepare and commit
+// records), then unlock everything.
+void TwoPhaseCoordinator::commit_step(std::shared_ptr<TxnCtx> t,
+                                      size_t idx) {
+  if (idx == t->parts.size()) {
+    run_execs(std::move(t));
+    return;
+  }
+  const size_t part = t->parts[idx];
+  std::vector<ReplicatedWal::Entry> entries;
+  for (const Write& w : t->writes) {
+    if (w.partition == part) entries.push_back({w.db_offset, w.data});
+  }
+  entries.push_back({status_offset(t->id), encode_status(t->id, kCommitted)});
+  const bool ok = parts_[part].wal->append(
+      entries, [this, t, idx](uint64_t) mutable {
+        commit_step(std::move(t), idx + 1);
+      });
+  if (!ok) {
+    loop_.schedule_after(sim::usec(200), [this, t = std::move(t), idx] {
+      commit_step(t, idx);
+    });
+  }
+}
+
+void TwoPhaseCoordinator::run_execs(std::shared_ptr<TxnCtx> t) {
+  for (size_t pi = 0; pi < t->parts.size(); ++pi) {
+    const size_t part = t->parts[pi];
+    for (int k = 0; k < 2; ++k) {
+      // A concurrent transaction's ExecuteAndAdvance may already have
+      // consumed our record (the log drains FIFO, globally balanced):
+      // an empty log here means our records are applied or in flight.
+      if (!parts_[part].wal->execute_and_advance(
+              [this, t] { on_exec_done(t); })) {
+        on_exec_done(t);
       }
     }
-  };
+  }
+}
 
-  auto step = std::make_shared<std::function<void(size_t)>>();
-  *step = [this, t, step, run_execs](size_t idx) {
-    if (idx == t->parts.size()) {
-      run_execs();
-      loop_.schedule_after(0, [step] { *step = nullptr; });
-      return;
-    }
-    const size_t part = t->parts[idx];
-    std::vector<ReplicatedWal::Entry> entries;
-    for (const Write& w : t->writes) {
-      if (w.partition == part) entries.push_back({w.db_offset, w.data});
-    }
-    entries.push_back(
-        {status_offset(t->id), encode_status(t->id, kCommitted)});
-    const bool ok = parts_[part].wal->append(
-        entries, [step, idx](uint64_t) { (*step)(idx + 1); });
-    if (!ok) {
-      loop_.schedule_after(sim::usec(200), [step, idx] { (*step)(idx); });
-    }
-  };
-  (*step)(0);
+void TwoPhaseCoordinator::on_exec_done(std::shared_ptr<TxnCtx> t) {
+  if (++t->execs_done < 2 * t->parts.size()) return;
+  commit_release(std::move(t), 0);
+}
+
+void TwoPhaseCoordinator::commit_release(std::shared_ptr<TxnCtx> t,
+                                         size_t i) {
+  if (i == t->lock_order.size()) {
+    finish(std::move(t), true);
+    return;
+  }
+  const auto [part, lock] = t->lock_order[i];
+  const uint64_t owner = t->id;
+  parts_[part].locks->wr_unlock(
+      lock, owner, [this, t = std::move(t), i]() mutable {
+        commit_release(std::move(t), i + 1);
+      });
 }
 
 void TwoPhaseCoordinator::finish(std::shared_ptr<TxnCtx> t, bool ok) {

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -65,13 +64,17 @@ class TwoPhaseCoordinator {
     std::vector<uint8_t> data;
   };
 
+  /// Protocol steps recurse through member functions capturing
+  /// [this, shared TxnCtx, index] — well inside the inline capacity.
+  using TxnDone = sim::SmallFn<void(bool committed), 64>;
+
   TwoPhaseCoordinator(sim::EventLoop& loop,
                       std::vector<PartitionCtx> partitions, Config cfg);
 
   /// Runs one cross-partition transaction. done(true) after commit marks
   /// are durable everywhere and data is applied; done(false) if locks
   /// could not be acquired (nothing was logged).
-  void execute(std::vector<Write> writes, std::function<void(bool)> done);
+  void execute(std::vector<Write> writes, TxnDone done);
 
   /// DB-area offset of a transaction slot's status word in every
   /// partition's layout: [txn_id u64][state u64].
@@ -112,8 +115,12 @@ class TwoPhaseCoordinator {
   }
 
   void acquire_locks(std::shared_ptr<TxnCtx> t, size_t idx);
-  void prepare_all(std::shared_ptr<TxnCtx> t);
-  void commit_all(std::shared_ptr<TxnCtx> t);
+  void abort_release(std::shared_ptr<TxnCtx> t, size_t i);
+  void prepare_step(std::shared_ptr<TxnCtx> t, size_t idx);
+  void commit_step(std::shared_ptr<TxnCtx> t, size_t idx);
+  void run_execs(std::shared_ptr<TxnCtx> t);
+  void on_exec_done(std::shared_ptr<TxnCtx> t);
+  void commit_release(std::shared_ptr<TxnCtx> t, size_t i);
   void finish(std::shared_ptr<TxnCtx> t, bool ok);
 
   sim::EventLoop& loop_;

@@ -10,12 +10,12 @@ struct TxnState {
   std::vector<ReplicatedWal::Entry> writes;
   std::vector<uint32_t> lock_ids;
   size_t next_lock = 0;
-  std::function<void(bool)> done;
+  TransactionManager::TxnDone done;
 };
 
 void TransactionManager::execute(std::vector<ReplicatedWal::Entry> writes,
                                  std::vector<uint32_t> lock_ids,
-                                 std::function<void(bool)> done) {
+                                 TxnDone done) {
   auto st = std::make_shared<TxnState>();
   st->id = next_txn_id_++;
   st->writes = std::move(writes);
@@ -27,30 +27,44 @@ void TransactionManager::execute(std::vector<ReplicatedWal::Entry> writes,
   acquire_next(std::move(st));
 }
 
+// Rolls back locks [0, i) in reverse, then reports the abort.
+void TransactionManager::release_and_abort(std::shared_ptr<TxnState> st,
+                                           size_t i) {
+  if (i == 0) {
+    ++stats_.aborted;
+    st->done(false);
+    return;
+  }
+  const uint32_t lock_id = st->lock_ids[i - 1];
+  const uint64_t owner = st->id;
+  locks_.wr_unlock(lock_id, owner, [this, st = std::move(st), i]() mutable {
+    release_and_abort(std::move(st), i - 1);
+  });
+}
+
+// Releases locks [i, n) in order; the last release reports the commit.
+void TransactionManager::commit_release(std::shared_ptr<TxnState> st,
+                                        size_t i) {
+  if (i == st->lock_ids.size()) {
+    ++stats_.committed;
+    st->done(true);
+    return;
+  }
+  const uint32_t lock_id = st->lock_ids[i];
+  const uint64_t owner = st->id;
+  locks_.wr_unlock(lock_id, owner, [this, st = std::move(st), i]() mutable {
+    commit_release(std::move(st), i + 1);
+  });
+}
+
 void TransactionManager::acquire_next(std::shared_ptr<TxnState> st) {
   if (st->next_lock < st->lock_ids.size()) {
     const uint32_t id = st->lock_ids[st->next_lock];
-    locks_.wr_lock(id, st->id, [this, st](bool ok) mutable {
+    const uint64_t owner = st->id;
+    locks_.wr_lock(id, owner, [this, st = std::move(st)](bool ok) mutable {
       if (!ok) {
-        // Roll back the locks acquired so far, then abort.
-        auto release_and_abort = std::make_shared<std::function<void(size_t)>>();
-        *release_and_abort = [this, st, release_and_abort](size_t i) {
-          if (i == 0) {
-            ++stats_.aborted;
-            st->done(false);
-            // Break the cycle on the next event (never destroy a closure
-            // while it executes).
-            loop_.schedule_after(0, [release_and_abort] {
-              *release_and_abort = nullptr;
-            });
-            return;
-          }
-          locks_.wr_unlock(st->lock_ids[i - 1], st->id,
-                           [release_and_abort, i] {
-                             (*release_and_abort)(i - 1);
-                           });
-        };
-        (*release_and_abort)(st->next_lock);
+        const size_t held = st->next_lock;
+        release_and_abort(std::move(st), held);
         return;
       }
       ++st->next_lock;
@@ -60,27 +74,17 @@ void TransactionManager::acquire_next(std::shared_ptr<TxnState> st) {
   }
 
   // All locks held: append (commit point), execute, release.
-  const bool ok = wal_.append(st->writes, [this, st](uint64_t) {
-    wal_.execute_and_advance([this, st] {
-      auto release = std::make_shared<std::function<void(size_t)>>();
-      *release = [this, st, release](size_t i) {
-        if (i == st->lock_ids.size()) {
-          ++stats_.committed;
-          st->done(true);
-          loop_.schedule_after(0, [release] { *release = nullptr; });
-          return;
-        }
-        locks_.wr_unlock(st->lock_ids[i], st->id,
-                         [release, i] { (*release)(i + 1); });
-      };
-      (*release)(0);
+  const bool ok = wal_.append(st->writes, [this, st](uint64_t) mutable {
+    wal_.execute_and_advance([this, st = std::move(st)]() mutable {
+      commit_release(std::move(st), 0);
     });
   });
   if (!ok) {
     // Log full: in-flight transactions each truncate their own record, so
     // space frees up as they drain — retry after a short backoff. (The WAL
     // asserts that a single record always fits in an empty log.)
-    loop_.schedule_after(sim::usec(100), [this, st] { acquire_next(st); });
+    loop_.schedule_after(sim::usec(100),
+                         [this, st = std::move(st)] { acquire_next(st); });
   }
 }
 

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +30,10 @@ class TransactionManager {
     uint64_t aborted = 0;  ///< lock acquisition gave up
   };
 
+  /// Per-transaction state rides in one shared_ptr; continuations capture
+  /// [this, st(, index)], so they stay inside the inline capacity.
+  using TxnDone = sim::SmallFn<void(bool committed), 64>;
+
   TransactionManager(ReplicationGroup& group, ReplicatedWal& wal,
                      GroupLockManager& locks, sim::EventLoop& loop)
       : group_(group), wal_(wal), locks_(locks), loop_(loop) {}
@@ -39,13 +42,14 @@ class TransactionManager {
   /// `lock_ids` the stripes it touches. done(true) after locks released;
   /// done(false) if locks could not be acquired (nothing was written).
   void execute(std::vector<ReplicatedWal::Entry> writes,
-               std::vector<uint32_t> lock_ids,
-               std::function<void(bool committed)> done);
+               std::vector<uint32_t> lock_ids, TxnDone done);
 
   const Stats& stats() const { return stats_; }
 
  private:
   void acquire_next(std::shared_ptr<struct TxnState> st);
+  void release_and_abort(std::shared_ptr<struct TxnState> st, size_t i);
+  void commit_release(std::shared_ptr<struct TxnState> st, size_t i);
 
   ReplicationGroup& group_;
   ReplicatedWal& wal_;

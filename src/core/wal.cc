@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cstring>
-#include <memory>
 
 namespace hyperloop::core {
 
@@ -12,58 +11,75 @@ ReplicatedWal::ReplicatedWal(ReplicationGroup& group, RegionLayout layout)
   assert(layout_.region_size <= group.region_size());
 }
 
-uint32_t ReplicatedWal::crc32(const uint8_t* data, size_t len) {
+uint32_t ReplicatedWal::crc32_update(uint32_t crc, const void* data,
+                                     size_t len) {
   // CRC-32 (reflected 0xEDB88320), table-free bitwise variant; the log
   // payloads are small enough that simplicity beats a table here.
-  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
   for (size_t i = 0; i < len; ++i) {
-    crc ^= data[i];
+    crc ^= p[i];
     for (int b = 0; b < 8; ++b) {
       crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
     }
   }
-  return ~crc;
+  return crc;
 }
 
-std::vector<uint8_t> ReplicatedWal::serialize(
-    const std::vector<Entry>& entries, uint64_t lsn) {
-  size_t body = 0;
-  for (const Entry& e : entries) {
-    body += sizeof(EntryHeader) + ((e.data.size() + 7) & ~size_t{7});
-  }
-  std::vector<uint8_t> out(sizeof(RecordHeader) + body);
-  auto* hdr = reinterpret_cast<RecordHeader*>(out.data());
-  hdr->magic = kRecordMagic;
-  hdr->num_entries = static_cast<uint32_t>(entries.size());
-  hdr->lsn = lsn;
-  hdr->total_len = static_cast<uint32_t>(out.size());
+uint32_t ReplicatedWal::stage_record(const std::vector<Entry>& entries,
+                                     uint64_t lsn, uint64_t voff) {
+  static constexpr uint8_t kZeroPad[8] = {};
 
-  uint8_t* p = out.data() + sizeof(RecordHeader);
+  // Serialize body pieces straight into the ring while folding them into
+  // the checksum; the header (which carries the final crc) lands last.
+  uint32_t crc = 0xFFFFFFFFu;
+  uint64_t p = voff + sizeof(RecordHeader);
   for (const Entry& e : entries) {
     EntryHeader eh;
     eh.db_offset = e.db_offset;
     eh.len = static_cast<uint32_t>(e.data.size());
-    std::memcpy(p, &eh, sizeof(eh));
+    group_.client_store(log_phys(p), &eh, sizeof(eh));
+    crc = crc32_update(crc, &eh, sizeof(eh));
     p += sizeof(eh);
-    std::memcpy(p, e.data.data(), e.data.size());
-    p += (e.data.size() + 7) & ~size_t{7};
+    if (!e.data.empty()) {
+      group_.client_store(log_phys(p), e.data.data(),
+                          static_cast<uint32_t>(e.data.size()));
+      crc = crc32_update(crc, e.data.data(), e.data.size());
+      p += e.data.size();
+    }
+    const uint32_t pad =
+        static_cast<uint32_t>((8 - (e.data.size() & 7)) & 7);
+    if (pad > 0) {
+      group_.client_store(log_phys(p), kZeroPad, pad);
+      crc = crc32_update(crc, kZeroPad, pad);
+      p += pad;
+    }
   }
-  hdr->crc = crc32(out.data() + sizeof(RecordHeader), body);
-  return out;
+
+  RecordHeader hdr;
+  hdr.magic = kRecordMagic;
+  hdr.num_entries = static_cast<uint32_t>(entries.size());
+  hdr.lsn = lsn;
+  hdr.total_len = static_cast<uint32_t>(p - voff);
+  hdr.crc = ~crc;
+  group_.client_store(log_phys(voff), &hdr, sizeof(hdr));
+  return hdr.total_len;
 }
 
 bool ReplicatedWal::append(const std::vector<Entry>& entries,
-                           std::function<void(uint64_t)> done) {
+                           AppendDone done) {
   const uint64_t lsn = next_lsn_;
-  std::vector<uint8_t> rec = serialize(entries, lsn);
-  assert(rec.size() <= layout_.log_size / 2 && "record too large for log");
+  uint64_t rec_len = sizeof(RecordHeader);
+  for (const Entry& e : entries) {
+    rec_len += sizeof(EntryHeader) + ((e.data.size() + 7) & ~size_t{7});
+  }
+  assert(rec_len <= layout_.log_size / 2 && "record too large for log");
 
   // Never straddle the ring wrap: pad with a wrap marker if needed.
   const uint64_t room_to_wrap = layout_.log_size - (tail_ % layout_.log_size);
   uint64_t wrap_pad = 0;
-  if (rec.size() > room_to_wrap) wrap_pad = room_to_wrap;
+  if (rec_len > room_to_wrap) wrap_pad = room_to_wrap;
 
-  if (rec.size() + wrap_pad > free_bytes()) {
+  if (rec_len + wrap_pad > free_bytes()) {
     ++stats_.append_failures;
     return false;
   }
@@ -81,31 +97,55 @@ bool ReplicatedWal::append(const std::vector<Entry>& entries,
   }
 
   const uint64_t rec_voff = tail_;
-  group_.client_store(log_phys(rec_voff), rec.data(),
-                      static_cast<uint32_t>(rec.size()));
-  tail_ += rec.size();
+  const uint32_t staged = stage_record(entries, lsn, rec_voff);
+  assert(staged == rec_len);
+  (void)staged;
+  tail_ += rec_len;
   ++stats_.records_appended;
-  stats_.bytes_appended += rec.size();
+  stats_.bytes_appended += rec_len;
 
   // 1) the record body, 2) the tail pointer. Both flushed; same-primitive
   // ordering guarantees the tail never becomes durable before the record.
-  group_.gwrite(log_phys(rec_voff), static_cast<uint32_t>(rec.size()),
+  group_.gwrite(log_phys(rec_voff), static_cast<uint32_t>(rec_len),
                 /*flush=*/true, [] {});
   write_pointer(RegionLayout::kTailOffset, tail_,
-                [lsn, done = std::move(done)] {
+                [lsn, done = std::move(done)]() mutable {
                   if (done) done(lsn);
                 });
   return true;
 }
 
 void ReplicatedWal::write_pointer(uint64_t ctrl_offset, uint64_t value,
-                                  std::function<void()> done) {
+                                  sim::SmallFn<void(), kDoneCap> done) {
   group_.client_store(RegionLayout::kControlBase + ctrl_offset, &value, 8);
   group_.gwrite(RegionLayout::kControlBase + ctrl_offset, 8, /*flush=*/true,
                 std::move(done));
 }
 
-bool ReplicatedWal::execute_and_advance(std::function<void()> done) {
+uint32_t ReplicatedWal::acquire_exec_op() {
+  if (exec_free_.empty()) {
+    exec_ops_.emplace_back();
+    return static_cast<uint32_t>(exec_ops_.size() - 1);
+  }
+  const uint32_t idx = exec_free_.back();
+  exec_free_.pop_back();
+  return idx;
+}
+
+void ReplicatedWal::finish_exec(uint32_t idx) {
+  ExecOp& op = exec_ops_[idx];
+  ++stats_.records_executed;
+  const uint64_t new_head = op.rec_voff + op.total_len;
+  Done done = std::move(op.done);
+  op.live = false;
+  exec_free_.push_back(idx);
+  write_pointer(RegionLayout::kHeadOffset, new_head,
+                [d = std::move(done)]() mutable {
+                  if (d) d();
+                });
+}
+
+bool ReplicatedWal::execute_and_advance(Done done) {
   // Skip wrap markers.
   while (head_ != tail_) {
     RecordHeader hdr;
@@ -128,79 +168,34 @@ bool ReplicatedWal::execute_and_advance(std::function<void()> done) {
   // head pointer writes still land in record order.
   head_ = rec_voff + hdr.total_len;
 
-  // Issue one gMEMCPY+gFLUSH per entry; complete when all have ACKed,
-  // then durably advance the head (log truncation).
-  auto remaining = std::make_shared<uint32_t>(hdr.num_entries);
-  auto advance = [this, rec_voff, total = hdr.total_len,
-                  done = std::move(done)]() mutable {
-    ++stats_.records_executed;
-    write_pointer(RegionLayout::kHeadOffset, rec_voff + total,
-                  std::move(done));
-  };
+  // Claim a pooled op slot; one gMEMCPY+gFLUSH per entry decrements it,
+  // and the last ack durably advances the head (log truncation).
+  const uint32_t idx = acquire_exec_op();
+  ExecOp& op = exec_ops_[idx];
+  assert(!op.live);
+  op.rec_voff = rec_voff;
+  op.total_len = hdr.total_len;
+  op.remaining = hdr.num_entries;
+  op.live = true;
+  op.done = std::move(done);
 
   if (hdr.num_entries == 0) {
-    advance();
+    finish_exec(idx);
     return true;
   }
 
-  auto shared_advance =
-      std::make_shared<std::function<void()>>(std::move(advance));
   uint64_t p = rec_voff + sizeof(RecordHeader);
   for (uint32_t i = 0; i < hdr.num_entries; ++i) {
     EntryHeader eh;
     group_.client_load(log_phys(p), &eh, sizeof(eh));
     const uint64_t data_voff = p + sizeof(EntryHeader);
     group_.gmemcpy(log_phys(data_voff), layout_.db_base() + eh.db_offset,
-                   eh.len, /*flush=*/true,
-                   [remaining, shared_advance] {
-                     if (--*remaining == 0) (*shared_advance)();
+                   eh.len, /*flush=*/true, [this, idx] {
+                     if (--exec_ops_[idx].remaining == 0) finish_exec(idx);
                    });
     p = data_voff + ((eh.len + 7) & ~uint64_t{7});
   }
   return true;
-}
-
-uint64_t ReplicatedWal::replay(const RegionLayout& layout, const LoadFn& load,
-                               const StoreFn& store) {
-  uint64_t head = 0, tail = 0;
-  load(RegionLayout::kControlBase + RegionLayout::kHeadOffset, &head, 8);
-  load(RegionLayout::kControlBase + RegionLayout::kTailOffset, &tail, 8);
-
-  auto phys = [&](uint64_t v) {
-    return layout.log_base() + (v % layout.log_size);
-  };
-
-  uint64_t applied = 0;
-  uint64_t v = head;
-  while (v < tail) {
-    RecordHeader hdr;
-    load(phys(v), &hdr, sizeof(hdr));
-    if (hdr.magic == kWrapMagic) {
-      v += hdr.total_len;
-      continue;
-    }
-    if (hdr.magic != kRecordMagic || hdr.total_len == 0 ||
-        v + hdr.total_len > tail) {
-      break;  // torn tail; committed prefix ends here
-    }
-    // Verify the checksum before applying.
-    const uint32_t body = hdr.total_len - sizeof(RecordHeader);
-    std::vector<uint8_t> buf(body);
-    load(phys(v + sizeof(RecordHeader)), buf.data(), body);
-    if (crc32(buf.data(), body) != hdr.crc) break;
-
-    const uint8_t* p = buf.data();
-    for (uint32_t i = 0; i < hdr.num_entries; ++i) {
-      EntryHeader eh;
-      std::memcpy(&eh, p, sizeof(eh));
-      p += sizeof(eh);
-      store(layout.db_base() + eh.db_offset, p, eh.len);
-      p += (eh.len + 7) & ~size_t{7};
-    }
-    ++applied;
-    v += hdr.total_len;
-  }
-  return applied;
 }
 
 void ReplicatedWal::reload_pointers() {

@@ -13,19 +13,34 @@
 // Log space is a ring addressed by monotonically increasing virtual
 // offsets (physical = v % log_size); records never straddle the wrap — a
 // wrap-marker record pads the tail of the ring instead.
+//
+// The append/execute datapath is allocation-free in steady state: records
+// are serialized piecewise straight into the client's staging region (no
+// temporary buffer), and in-flight executions live in a pooled slot table
+// indexed by small integers. Completion callbacks are sim::SmallFn, sized
+// so every continuation in this file stays within the inline capacity.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <vector>
 
 #include "core/group.h"
 #include "core/region_layout.h"
+#include "sim/small_fn.h"
 
 namespace hyperloop::core {
 
 class ReplicatedWal {
  public:
+  /// Inline capacity for WAL completion callbacks. 64 bytes covers the
+  /// transaction layer's continuations (a shared_ptr to op state plus a
+  /// few words); anything bigger falls back to one allocation, which the
+  /// alloc-gate test would catch on the steady-state path.
+  static constexpr size_t kCallbackCap = 64;
+  using AppendDone = sim::SmallFn<void(uint64_t lsn), kCallbackCap>;
+  using Done = sim::SmallFn<void(), kCallbackCap>;
+
   struct Entry {
     uint64_t db_offset = 0;  ///< destination, relative to the DB area
     std::vector<uint8_t> data;
@@ -44,13 +59,12 @@ class ReplicatedWal {
   /// lacks space — the caller must ExecuteAndAdvance (truncate) first.
   /// `done` fires with the record's LSN once the record *and* the tail
   /// pointer are durably replicated.
-  bool append(const std::vector<Entry>& entries,
-              std::function<void(uint64_t lsn)> done);
+  bool append(const std::vector<Entry>& entries, AppendDone done);
 
   /// Applies the record at the head on all replicas (gMEMCPY+gFLUSH per
   /// entry), then durably advances the head. Returns false if there is
   /// no unprocessed record. `done` fires when the head advance is durable.
-  bool execute_and_advance(std::function<void()> done);
+  bool execute_and_advance(Done done);
 
   /// Virtual head/tail offsets (head == tail means empty).
   uint64_t head() const { return head_; }
@@ -64,13 +78,13 @@ class ReplicatedWal {
   /// Crash recovery over a raw region image: re-applies every record in
   /// [head, tail) to the DB area and returns the number applied. Works on
   /// any replica's (or the client's) region bytes via the provided
-  /// load/store callbacks. Corrupt (checksum-failing) records stop the
-  /// replay — they can only be a torn tail write, which the durable tail
-  /// pointer already excludes in normal operation.
-  using LoadFn = std::function<void(uint64_t off, void* dst, uint32_t len)>;
-  using StoreFn = std::function<void(uint64_t off, const void* src, uint32_t len)>;
-  static uint64_t replay(const RegionLayout& layout, const LoadFn& load,
-                         const StoreFn& store);
+  /// load/store callables, `load(off, dst, len)` / `store(off, src, len)`.
+  /// Corrupt (checksum-failing) records stop the replay — they can only
+  /// be a torn tail write, which the durable tail pointer already
+  /// excludes in normal operation. Cold path: may allocate.
+  template <typename LoadFn, typename StoreFn>
+  static uint64_t replay(const RegionLayout& layout, LoadFn&& load,
+                         StoreFn&& store);
 
   /// Recovers this WAL's in-memory pointers from the client region
   /// (used after a coordinator restart in tests).
@@ -93,17 +107,43 @@ class ReplicatedWal {
     uint32_t pad = 0;
   };
 
-  static uint32_t crc32(const uint8_t* data, size_t len);
-  static std::vector<uint8_t> serialize(const std::vector<Entry>& entries,
-                                        uint64_t lsn);
+  /// One in-flight ExecuteAndAdvance. Pooled (free-list) so concurrent
+  /// executions — the two-phase layer runs several — recycle slots
+  /// instead of allocating shared counters per record. Callbacks capture
+  /// the slot *index*, never a pointer: the pool vector may grow.
+  struct ExecOp {
+    uint64_t rec_voff = 0;
+    uint32_t total_len = 0;
+    uint32_t remaining = 0;
+    bool live = false;
+    Done done;
+  };
+
+  static uint32_t crc32_update(uint32_t crc, const void* data, size_t len);
+  static uint32_t crc32(const void* data, size_t len) {
+    return ~crc32_update(0xFFFFFFFFu, data, len);
+  }
+
+  /// Serializes the record piecewise straight into the log ring at
+  /// virtual offset `voff` (header, then per entry: EntryHeader, data,
+  /// zero pad to 8B), computing the body checksum incrementally. Returns
+  /// the record's total length. No temporary buffer.
+  uint32_t stage_record(const std::vector<Entry>& entries, uint64_t lsn,
+                        uint64_t voff);
+
+  uint32_t acquire_exec_op();
+  void finish_exec(uint32_t idx);
 
   /// Physical offset (within the whole region) of virtual log offset v.
   uint64_t log_phys(uint64_t v) const {
     return layout_.log_base() + (v % layout_.log_size);
   }
 
+  /// The continuation here feeds straight into ReplicationGroup::gwrite,
+  /// so it uses the group-level capacity (kDoneCap): append's tail-write
+  /// continuation carries an AppendDone plus the LSN and must stay inline.
   void write_pointer(uint64_t ctrl_offset, uint64_t value,
-                     std::function<void()> done);
+                     sim::SmallFn<void(), kDoneCap> done);
 
   ReplicationGroup& group_;
   RegionLayout layout_;
@@ -111,6 +151,52 @@ class ReplicatedWal {
   uint64_t tail_ = 0;
   uint64_t next_lsn_ = 1;
   Stats stats_;
+  std::vector<ExecOp> exec_ops_;     ///< slot pool, grows to high water
+  std::vector<uint32_t> exec_free_;  ///< free slot indices (LIFO)
 };
+
+template <typename LoadFn, typename StoreFn>
+uint64_t ReplicatedWal::replay(const RegionLayout& layout, LoadFn&& load,
+                               StoreFn&& store) {
+  uint64_t head = 0, tail = 0;
+  load(RegionLayout::kControlBase + RegionLayout::kHeadOffset, &head, 8);
+  load(RegionLayout::kControlBase + RegionLayout::kTailOffset, &tail, 8);
+
+  auto phys = [&](uint64_t v) {
+    return layout.log_base() + (v % layout.log_size);
+  };
+
+  uint64_t applied = 0;
+  uint64_t v = head;
+  while (v < tail) {
+    RecordHeader hdr;
+    load(phys(v), &hdr, sizeof(hdr));
+    if (hdr.magic == kWrapMagic) {
+      v += hdr.total_len;
+      continue;
+    }
+    if (hdr.magic != kRecordMagic || hdr.total_len == 0 ||
+        v + hdr.total_len > tail) {
+      break;  // torn tail; committed prefix ends here
+    }
+    // Verify the checksum before applying.
+    const uint32_t body = hdr.total_len - sizeof(RecordHeader);
+    std::vector<uint8_t> buf(body);
+    load(phys(v + sizeof(RecordHeader)), buf.data(), body);
+    if (crc32(buf.data(), body) != hdr.crc) break;
+
+    const uint8_t* p = buf.data();
+    for (uint32_t i = 0; i < hdr.num_entries; ++i) {
+      EntryHeader eh;
+      std::memcpy(&eh, p, sizeof(eh));
+      p += sizeof(eh);
+      store(layout.db_base() + eh.db_offset, p, eh.len);
+      p += (eh.len + 7) & ~size_t{7};
+    }
+    ++applied;
+    v += hdr.total_len;
+  }
+  return applied;
+}
 
 }  // namespace hyperloop::core

@@ -10,8 +10,10 @@
 // is realized by patching `opcode` to kCas or kNop per replica.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
 
 #include "rdma/memory.h"
 
@@ -73,12 +75,42 @@ struct Sge {
   uint32_t lkey = 0;
 };
 
+/// Fixed-capacity SGE list: pre-posted RECVs are re-armed on the refill
+/// hot path (one per ring slot), so the scatter list lives inline in the
+/// WQE instead of on the heap. The widest consumer is the fanout
+/// primary rearm at 4 + 3*K entries for K backups (K <= 7 with the
+/// group-size-8 cap shared by the naive/tcp baselines).
+struct SgeList {
+  static constexpr size_t kMaxSges = 25;
+
+  Sge entries[kMaxSges];
+  uint32_t count = 0;
+
+  SgeList() = default;
+  SgeList(std::initializer_list<Sge> il) { *this = il; }
+  SgeList& operator=(std::initializer_list<Sge> il) {
+    assert(il.size() <= kMaxSges);
+    count = 0;
+    for (const Sge& s : il) entries[count++] = s;
+    return *this;
+  }
+
+  void push_back(const Sge& s) {
+    assert(count < kMaxSges);
+    entries[count++] = s;
+  }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const Sge* begin() const { return entries; }
+  const Sge* end() const { return entries + count; }
+};
+
 /// A receive WQE: inbound SEND payload is scattered across `sges` in
 /// order. Held NIC-side (the paper only requires *send* queues to be
 /// remotely writable).
 struct RecvWqe {
   uint64_t wr_id = 0;
-  std::vector<Sge> sges;
+  SgeList sges;
 };
 
 /// Helpers for building common WQEs.

@@ -87,8 +87,8 @@ TEST_F(FanoutFixture, GmemcpyExecutesOnEveryReplica) {
 TEST_F(FanoutFixture, GcasAppliesAndReturnsResultMap) {
   auto g = make_group();
   std::vector<uint64_t> result;
-  g->gcas(512, 0, 55, {true, true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 55, ExecMap::all(3),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   for (uint64_t v : result) EXPECT_EQ(v, 0u);
@@ -103,8 +103,8 @@ TEST_F(FanoutFixture, GcasExecuteMapSelectsReplicas) {
   auto g = make_group();
   std::vector<uint64_t> result;
   // Skip the primary, CAS only backup 1 (index 2 in group terms).
-  g->gcas(512, 0, 9, {false, false, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 9, ExecMap::one(2),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   uint64_t v0 = 0, v1 = 0, v2 = 0;
@@ -119,13 +119,13 @@ TEST_F(FanoutFixture, GcasExecuteMapSelectsReplicas) {
 TEST_F(FanoutFixture, GcasMismatchReportsHolder) {
   auto g = make_group();
   bool first = false;
-  g->gcas(256, 0, 7, {true, true, true},
-          [&](const std::vector<uint64_t>&) { first = true; });
+  g->gcas(256, 0, 7, ExecMap::all(3),
+          [&](const CasResult&) { first = true; });
   run();
   ASSERT_TRUE(first);
   std::vector<uint64_t> result;
-  g->gcas(256, 0, 8, {true, true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(256, 0, 8, ExecMap::all(3),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   for (uint64_t v : result) EXPECT_EQ(v, 7u);

@@ -109,8 +109,8 @@ TEST_F(GroupFixture, GmemcpyCopiesOnEveryReplica) {
 TEST_F(GroupFixture, GcasAcquiresOnAllReplicas) {
   auto g = make_group();
   std::vector<uint64_t> result;
-  g->gcas(512, 0, 77, {true, true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 77, ExecMap::all(3),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   for (uint64_t v : result) EXPECT_EQ(v, 0u);  // old value was 0 everywhere
@@ -132,8 +132,8 @@ TEST_F(GroupFixture, GcasReportsMismatch) {
   ASSERT_TRUE(wrote);
 
   std::vector<uint64_t> result;
-  g->gcas(512, 0, 55, {true, true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 55, ExecMap::all(3),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   for (uint64_t v : result) EXPECT_EQ(v, 123u);  // lock was held
@@ -147,8 +147,8 @@ TEST_F(GroupFixture, GcasReportsMismatch) {
 TEST_F(GroupFixture, GcasExecuteMapSkipsReplicas) {
   auto g = make_group();
   std::vector<uint64_t> result;
-  g->gcas(512, 0, 9, {true, false, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 9, ExecMap::one(0).set(2),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   uint64_t v0 = 0, v1 = 0, v2 = 0;
@@ -169,8 +169,8 @@ TEST_F(GroupFixture, GcasUndoAfterPartialAcquire) {
   g->replica_server(1).mem().write(base + 512, &other, 8);
 
   std::vector<uint64_t> result;
-  g->gcas(512, 0, 7, {true, true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(512, 0, 7, ExecMap::all(3),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   EXPECT_EQ(result[0], 0u);
@@ -178,11 +178,11 @@ TEST_F(GroupFixture, GcasUndoAfterPartialAcquire) {
   EXPECT_EQ(result[2], 0u);
 
   // Undo on the replicas where it succeeded (result == expected).
-  std::vector<bool> undo_map = {result[0] == 0, false, result[2] == 0};
+  ExecMap undo_map = ExecMap::none();
+  if (result[0] == 0) undo_map.set(0);
+  if (result[2] == 0) undo_map.set(2);
   bool undone = false;
-  g->gcas(512, 7, 0, undo_map, [&](const std::vector<uint64_t>&) {
-    undone = true;
-  });
+  g->gcas(512, 7, 0, undo_map, [&](const CasResult&) { undone = true; });
   run();
   ASSERT_TRUE(undone);
   uint64_t v0 = 0, v2 = 0;
@@ -248,8 +248,8 @@ TEST_F(GroupFixture, SingleReplicaGroupWorks) {
 TEST_F(GroupFixture, TwoReplicaGroupWorks) {
   auto g = make_group(2);
   std::vector<uint64_t> result;
-  g->gcas(0, 0, 5, {true, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(0, 0, 5, ExecMap::all(2),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 2u);
   for (size_t i = 0; i < 2; ++i) {
@@ -296,8 +296,8 @@ TEST_F(GroupFixture, MixedPrimitivesInterleave) {
     g->gwrite(off, 8, true, [&, off, v] {
       ++done;
       g->gmemcpy(off, off + 8, 8, true, [&] { ++done; });
-      g->gcas(off + 32, 0, v + 1, {true, true, true},
-              [&](const std::vector<uint64_t>&) { ++done; });
+      g->gcas(off + 32, 0, v + 1, ExecMap::all(3),
+              [&](const CasResult&) { ++done; });
     });
   }
   cluster.loop().run_until(cluster.loop().now() + sim::msec(500));

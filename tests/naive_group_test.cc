@@ -84,8 +84,8 @@ TEST_F(NaiveFixture, GmemcpyExecutesOnCpu) {
 TEST_F(NaiveFixture, GcasWithExecuteMapAndResult) {
   auto g = make_group();
   std::vector<uint64_t> result;
-  g->gcas(128, 0, 11, {true, false, true},
-          [&](const std::vector<uint64_t>& r) { result = r; });
+  g->gcas(128, 0, 11, ExecMap::one(0).set(2),
+          [&](const CasResult& r) { result.assign(r.begin(), r.end()); });
   run();
   ASSERT_EQ(result.size(), 3u);
   uint64_t v = 0;

@@ -13,6 +13,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/hyperloop_group.h"
+#include "core/lock.h"
+#include "core/server.h"
+#include "core/wal.h"
 #include "nvm/nvm_device.h"
 #include "rdma/network.h"
 #include "rdma/nic.h"
@@ -203,3 +207,78 @@ TEST(NicAllocDurability, GwriteGflushSteadyStateAllocatesNothing) {
 
 }  // namespace
 }  // namespace hyperloop::rdma
+
+namespace hyperloop::core {
+namespace {
+
+// The transaction-layer lap: the claim behind the SmallFn completion API
+// and the ring-indexed op tracking (DESIGN.md "Callback types") is that a
+// whole gWRITE-through-WAL transaction — wr_lock gCAS, WAL append (staged
+// directly into the client region, gWRITE + gFLUSH down the chain),
+// ExecuteAndAdvance gMEMCPYs, and the releasing gCAS — touches the heap
+// zero times in steady state. Every continuation lives inline in a
+// pending-op slot or pool entry; the op-tracking tables and rings are at
+// their high-water marks after warm-up.
+TEST(NicAllocTransaction, WalLockTransactionLapAllocatesNothing) {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+  RegionLayout layout;
+  layout.region_size = 1 << 20;
+  layout.log_size = 64 << 10;
+  layout.num_locks = 16;
+  HyperLoopGroup::Config gc;
+  gc.region_size = layout.region_size;
+  gc.ring_slots = 64;
+  gc.max_inflight = 16;
+  std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                               &cluster.server(2)};
+  HyperLoopGroup group(cluster.server(3), reps, gc);
+  ReplicatedWal wal(group, layout);
+  GroupLockManager locks(group, layout, cluster.loop());
+
+  // Fixed inputs, built once: append() reads the caller's entry vector
+  // and stages bytes straight into the client region, so reusing one
+  // entry keeps the lap's working set entirely pre-allocated.
+  const std::vector<uint8_t> payload(64, 0xAB);
+  std::vector<ReplicatedWal::Entry> entries;
+  entries.push_back({/*db_offset=*/256, payload});
+
+  int laps_done = 0;
+  auto lap = [&] {
+    locks.wr_lock(1, /*owner=*/7, [&](bool ok) {
+      if (!ok) return;
+      wal.append(entries, [&](uint64_t) {
+        wal.execute_and_advance([&] {
+          locks.wr_unlock(1, 7, [&] { ++laps_done; });
+        });
+      });
+    });
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(5));
+  };
+
+  // Warm-up: grow the slot pools (lock ops, WAL exec ops), the group's
+  // pending tables and credit rings, the NIC rings, and the event slab.
+  for (int i = 0; i < 24; ++i) lap();
+  ASSERT_EQ(laps_done, 24);
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 4; ++i) lap();
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "transaction lap (lock -> append -> execute -> unlock) performed "
+      << (g_alloc_count - before) << " heap allocations";
+  EXPECT_EQ(laps_done, 28);
+
+  // Sanity: the laps really committed records and cycled the lock.
+  EXPECT_EQ(wal.stats().records_appended, 28u);
+  EXPECT_EQ(locks.stats().wr_acquired, 28u);
+  uint64_t word = ~uint64_t{0};
+  group.replica_load(0, layout.lock_offset(1), &word, 8);
+  EXPECT_EQ(word, 0u);  // released
+}
+
+}  // namespace
+}  // namespace hyperloop::core

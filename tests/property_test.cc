@@ -105,9 +105,9 @@ TEST_P(PropertyTest, RandomOpsConvergeAcrossReplicas) {
         // Half the time CAS with the right expectation (swaps), half with
         // a wrong one (no-op); mirror the deterministic outcome locally.
         const uint64_t expected = st.b % 2 == 0 ? current : current + 1;
-        group_->gcas(word, expected, st.a, {true, true, true},
+        group_->gcas(word, expected, st.a, ExecMap::all(3),
                      [&, word, expected, st, next](
-                         const std::vector<uint64_t>& old_vals) {
+                         const CasResult& old_vals) {
                        if (old_vals[0] == expected) {
                          group_->client_store(word, &st.a, 8);
                        }

@@ -172,8 +172,8 @@ TEST(LossyHyperLoop, GcasCorrectUnderLoss) {
   std::function<void(uint64_t)> step = [&](uint64_t k) {
     if (k == 60) return;
     const uint64_t expected = k % 2 == 0 ? 0 : 1;
-    group.gcas(0, expected, 1 - expected, {true, true, true},
-               [&, k, expected](const std::vector<uint64_t>& r) {
+    group.gcas(0, expected, 1 - expected, core::ExecMap::all(3),
+               [&, k, expected](const core::CasResult& r) {
                  for (uint64_t v : r) EXPECT_EQ(v, expected) << "at " << k;
                  ++done;
                  step(k + 1);

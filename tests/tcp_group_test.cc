@@ -66,8 +66,8 @@ TEST_F(TcpGroupFixture, GmemcpyAndGcas) {
   bool all = false;
   g->gwrite(0, data.size(), true, [&] {
     g->gmemcpy(0, 4096, data.size(), true, [&] {
-      g->gcas(8192, 0, 33, {true, true, true},
-              [&](const std::vector<uint64_t>& r) {
+      g->gcas(8192, 0, 33, ExecMap::all(3),
+              [&](const CasResult& r) {
                 EXPECT_EQ(r.size(), 3u);
                 all = true;
               });

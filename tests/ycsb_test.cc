@@ -106,7 +106,8 @@ class FakeEngine : public StorageEngine {
     finish(std::move(done));
   }
   void read(uint64_t, ReadDone done) override {
-    loop_.schedule_after(delay_, [done = std::move(done)] { done(true, {}); });
+    loop_.schedule_after(delay_,
+                         [done = std::move(done)]() mutable { done(true, {}); });
   }
   void scan(uint64_t, int, Done done) override { finish(std::move(done)); }
   void read_modify_write(uint64_t, std::vector<uint8_t>, Done done) override {
@@ -118,7 +119,7 @@ class FakeEngine : public StorageEngine {
   void finish(Done done) {
     ++inflight_;
     inflight_peak = std::max(inflight_peak, inflight_);
-    loop_.schedule_after(delay_, [this, done = std::move(done)] {
+    loop_.schedule_after(delay_, [this, done = std::move(done)]() mutable {
       --inflight_;
       done(true);
     });
