@@ -15,6 +15,11 @@ gate is deliberately loose (15%, on top of google-benchmark's own
 --benchmark_min_time averaging). It exists to catch step-function
 regressions (an accidental O(n) lookup, a reintroduced per-packet
 allocation), not 2% drift.
+
+Both dumps must carry context.binary_build_type == "release" (stamped by
+perf_selfcheck's main from NDEBUG): a debug-built side makes every delta
+meaningless, so the comparison fails outright instead of "passing" a
+bogus 10x regression or improvement.
 """
 
 import argparse
@@ -25,6 +30,7 @@ import sys
 def load_items_per_second(path):
     with open(path) as f:
         data = json.load(f)
+    build_type = data.get("context", {}).get("binary_build_type")
     out = {}
     for bm in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
@@ -33,7 +39,28 @@ def load_items_per_second(path):
         ips = bm.get("items_per_second")
         if ips:
             out[bm["name"]] = float(ips)
-    return out
+    return out, build_type
+
+
+def check_provenance(path, build_type):
+    """Debug-built numbers are garbage; missing provenance is suspect.
+
+    Returns an error string, or None if the dump is trustworthy. The
+    "binary_build_type" context key is stamped by perf_selfcheck's custom
+    main from NDEBUG — the stock "library_build_type" key only reflects
+    how the google-benchmark library itself was compiled, so it proves
+    nothing about the code under test.
+    """
+    if build_type is None:
+        return (f"{path}: missing binary_build_type context (produced by a "
+                f"perf_selfcheck binary from before the provenance stamp, "
+                f"or not by perf_selfcheck at all) — regenerate it with "
+                f"bench/run_selfcheck.sh from a Release build")
+    if build_type != "release":
+        return (f"{path}: binary_build_type is \"{build_type}\" — "
+                f"debug-built numbers are not comparable; rebuild with "
+                f"-DCMAKE_BUILD_TYPE=Release")
+    return None
 
 
 def main():
@@ -44,8 +71,15 @@ def main():
                     help="max allowed fractional drop in items_per_second")
     args = ap.parse_args()
 
-    base = load_items_per_second(args.baseline)
-    cand = load_items_per_second(args.candidate)
+    base, base_build = load_items_per_second(args.baseline)
+    cand, cand_build = load_items_per_second(args.candidate)
+    provenance = [err for err in (check_provenance(args.baseline, base_build),
+                                  check_provenance(args.candidate, cand_build))
+                  if err]
+    if provenance:
+        for err in provenance:
+            print(f"error: {err}")
+        return 1
     if not base:
         print(f"error: no items_per_second entries in {args.baseline}")
         return 2

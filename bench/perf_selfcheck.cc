@@ -339,6 +339,50 @@ void BM_WalAppendThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_WalAppendThroughput);
 
+// The batched WAL datapath at full depth: bursts of appends deep enough
+// to keep the group-commit window loaded, so records ride multi-extent
+// gWRITEV batches (one chain traversal for up to kCapacity-1 records plus
+// the shared tail write) instead of per-record traversals. One item = one
+// committed record; the records-per-gwritev ratio is reported as a
+// counter so a regression that silently de-batches is visible even if
+// wall time stays flat.
+void BM_WalAppendBatched(benchmark::State& state) {
+  using namespace hyperloop::bench;
+  auto cluster = make_cluster(3, 42);
+  auto group = make_group(*cluster, 3, Backend::kHyperLoop);
+  core::RegionLayout layout;  // defaults fit make_group's 4 MiB region
+  core::ReplicatedWal::Options opts;
+  opts.staged_capacity = 64;
+  core::ReplicatedWal wal(*group, layout, opts);
+  cluster->loop().run_until(sim::msec(1));
+
+  const std::vector<uint8_t> payload(128, 7);
+  std::vector<core::ReplicatedWal::Entry> entries;
+  entries.push_back({/*db_offset=*/256, payload});
+
+  constexpr int kWindow = 32;
+  auto spin = [&] {
+    cluster->loop().run_until(cluster->loop().now() + sim::usec(50));
+  };
+  for (auto _ : state) {
+    int pending = 0;
+    for (int i = 0; i < kWindow; ++i) {
+      if (wal.append(entries, [&](uint64_t) { --pending; })) ++pending;
+    }
+    while (pending > 0) spin();
+    int execs = 0;
+    while (wal.execute_and_advance([&] { --execs; })) ++execs;
+    while (execs > 0) spin();
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+  if (wal.stats().gwritev_batches > 0) {
+    state.counters["records_per_gwritev"] = benchmark::Counter(
+        static_cast<double>(wal.stats().records_appended) /
+        static_cast<double>(wal.stats().gwritev_batches));
+  }
+}
+BENCHMARK(BM_WalAppendBatched);
+
 void BM_IntervalSetChurn(benchmark::State& state) {
   nvm::IntervalSet s;
   sim::Rng rng(4);
@@ -426,4 +470,20 @@ BENCHMARK(BM_HostMemoryWrite)->Arg(0)->Arg(1)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the *benchmark binary's*
+// build type into the JSON context. The stock "library_build_type" key
+// reflects how the google-benchmark library was compiled (debug in this
+// environment), not this binary — comparing numbers from a debug-built
+// selfcheck is meaningless, so the compare gate keys off this field.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,4 +24,21 @@ fi
   --benchmark_out_format=json \
   --benchmark_counters_tabular=true
 
+# Provenance gate: numbers from a debug-built selfcheck binary are not
+# comparable to anything — refuse to publish them. ("binary_build_type" is
+# stamped by perf_selfcheck's main; the stock library_build_type key only
+# describes how the google-benchmark *library* was compiled.)
+if grep -q '"binary_build_type": *"debug"' "$OUT"; then
+  rm -f "$OUT"
+  echo "error: perf_selfcheck was built without NDEBUG (debug build);" >&2
+  echo "       refusing to write $OUT. Rebuild with" >&2
+  echo "       -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo)." >&2
+  exit 1
+fi
+if ! grep -q '"binary_build_type": *"release"' "$OUT"; then
+  rm -f "$OUT"
+  echo "error: $OUT carries no binary_build_type provenance" >&2
+  exit 1
+fi
+
 echo "wrote $OUT"

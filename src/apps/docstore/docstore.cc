@@ -12,7 +12,7 @@ DocStore::DocStore(core::ReplicationGroup& group, core::Server& client,
     : group_(group),
       client_(client),
       cfg_(cfg),
-      wal_(group, cfg.layout),
+      wal_(group, cfg.layout, cfg.wal),
       locks_(group, cfg.layout, client.loop()),
       txns_(group, wal_, locks_, client.loop()) {
   client_pid_ = client_.sched().create_process(client_.name() + "-doc-fe");

@@ -41,6 +41,9 @@ class DocStore : public StorageEngine {
     size_t read_replica = 0;
     /// Take read locks for reads (required for consistent replica reads).
     bool use_read_locks = true;
+    /// Oplog group-commit tuning (staged-window depth, latency clock);
+    /// staged_capacity = 1 restores per-record issue semantics.
+    core::ReplicatedWal::Options wal;
   };
 
   DocStore(core::ReplicationGroup& group, core::Server& client, Config cfg);

@@ -9,7 +9,8 @@ namespace hyperloop::apps {
 
 KvStore::KvStore(core::ReplicationGroup& group, core::Server& client,
                  std::vector<core::Server*> replica_servers, Config cfg)
-    : group_(group), client_(client), cfg_(cfg), wal_(group, cfg.layout) {
+    : group_(group), client_(client), cfg_(cfg),
+      wal_(group, cfg.layout, cfg.wal) {
   client_pid_ = client_.sched().create_process(client_.name() + "-kv");
   replica_tables_.resize(replica_servers.size());
   for (size_t i = 0; i < replica_servers.size(); ++i) {

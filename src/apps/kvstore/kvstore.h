@@ -42,6 +42,9 @@ class KvStore : public StorageEngine {
     bool replicas_sync = true;
     /// Checkpoint (execute + truncate) when log use crosses this.
     double checkpoint_threshold = 0.5;
+    /// WAL group-commit tuning (staged-window depth, latency clock);
+    /// staged_capacity = 1 restores per-record issue semantics.
+    core::ReplicatedWal::Options wal;
   };
 
   /// `client` must be the coordinator server of `group`; `replica_servers`

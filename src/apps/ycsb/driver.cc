@@ -1,5 +1,7 @@
 #include "apps/ycsb/driver.h"
 
+#include <algorithm>
+
 namespace hyperloop::apps {
 
 YcsbDriver::YcsbDriver(sim::EventLoop& loop, StorageEngine& engine,
@@ -8,7 +10,9 @@ YcsbDriver::YcsbDriver(sim::EventLoop& loop, StorageEngine& engine,
 
 void YcsbDriver::start(std::function<void()> on_complete) {
   on_complete_ = std::move(on_complete);
-  for (int t = 0; t < cfg_.threads; ++t) thread_loop();
+  for (int t = 0; t < cfg_.threads; ++t) {
+    for (int b = 0; b < std::max(1, cfg_.batch); ++b) thread_loop();
+  }
 }
 
 void YcsbDriver::thread_loop() {

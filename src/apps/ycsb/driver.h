@@ -20,6 +20,11 @@ class YcsbDriver {
     int threads = 4;
     uint64_t total_ops = 10000;
     sim::Duration think_time = 0;
+    /// Ops each thread keeps outstanding (pipelined batch depth). With
+    /// batch > 1 a thread issues a burst and refills one op per
+    /// completion, which is what feeds the storage engine's WAL
+    /// group-commit window; batch = 1 is the classic closed loop.
+    int batch = 1;
   };
 
   YcsbDriver(sim::EventLoop& loop, StorageEngine& engine,

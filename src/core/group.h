@@ -26,6 +26,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <utility>
 
 #include "sim/small_fn.h"
@@ -75,6 +76,45 @@ static_assert(sizeof(Done) == kDoneCap + 2 * sizeof(void*),
 static_assert(sizeof(CasDone) == kCasDoneCap + 2 * sizeof(void*),
               "CasDone must stay a flat inline-capture SmallFn");
 
+/// One gWRITEV extent: a contiguous range of the replicated region.
+struct Extent {
+  uint64_t offset = 0;
+  uint32_t len = 0;
+};
+
+/// Fixed-capacity inline extent list for gWRITEV. Lives by value in
+/// pending-op slots and credit-wait rings, so the batched submit path
+/// never touches the heap. The capacity is part of the offload contract:
+/// HyperLoopGroup pre-posts kCapacity WRITE WQEs per chain slot and
+/// patches unused ones to NOPs.
+struct ExtentVec {
+  static constexpr size_t kCapacity = 8;
+
+  Extent entries[kCapacity];
+  uint32_t count = 0;
+
+  ExtentVec() = default;
+  ExtentVec(std::initializer_list<Extent> il) {
+    assert(il.size() <= kCapacity);
+    for (const Extent& e : il) entries[count++] = e;
+  }
+
+  void push_back(const Extent& e) {
+    assert(count < kCapacity);
+    entries[count++] = e;
+  }
+  void clear() { count = 0; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  bool full() const { return count == kCapacity; }
+  const Extent& operator[](size_t i) const {
+    assert(i < count);
+    return entries[i];
+  }
+  const Extent* begin() const { return entries; }
+  const Extent* end() const { return entries + count; }
+};
+
 /// gCAS execute map: one bit per chain position (bit i == replica i).
 /// Chains are <= 64 replicas everywhere in the paper and this repo, so a
 /// single word replaces the old std::vector<bool> (which allocated at
@@ -115,6 +155,23 @@ class ReplicationGroup {
   /// guaranteed on every replica before `done` fires.
   virtual void gwrite(uint64_t offset, uint32_t len, bool flush,
                       Done done) = 0;
+
+  /// Scatter-gather gWRITE: replicates every extent of the client's
+  /// region in one submission. With `flush`, all extents are durable on
+  /// every replica before `done` fires, and `done` fires only after the
+  /// *last* extent is replicated — extents land in list order, so callers
+  /// may encode ordering (e.g. WAL bodies before the tail pointer) by
+  /// position. The base implementation is a loop of gwrite() riding each
+  /// backend's FIFO same-primitive completion order; HyperLoopGroup
+  /// overrides it with a native one-chain-traversal batch.
+  virtual void gwritev(const ExtentVec& extents, bool flush, Done done) {
+    assert(!extents.empty());
+    for (size_t i = 0; i + 1 < extents.size(); ++i) {
+      gwrite(extents[i].offset, extents[i].len, flush, Done{});
+    }
+    const Extent& last = extents[extents.size() - 1];
+    gwrite(last.offset, last.len, flush, std::move(done));
+  }
 
   /// Copies `len` bytes from src_offset to dst_offset within every
   /// replica's region (remote log processing).

@@ -191,13 +191,15 @@ void HyperLoopGroup::setup_replica(size_t idx) {
           mem.alloc(uint64_t{result_bytes()} * cfg_.ring_slots, 64);
     }
 
-    c.cq_recv_prev = nic.create_cq();
-    c.cq_send_next = nic.create_cq();
+    // Chain CQs are consumed only through WAIT counters, never polled:
+    // counting-only (capacity 0) so wrapped rings don't hoard dead CQEs.
+    c.cq_recv_prev = nic.create_cq(0);
+    c.cq_send_next = nic.create_cq(0);
     c.qp_prev = nic.create_qp(nullptr, c.cq_recv_prev, cfg_.ring_slots);
     c.qp_next = nic.create_qp(c.cq_send_next, nullptr,
                               cfg_.ring_slots * next_wqes(p));
-    if (p != Prim::kWrite) {
-      c.cq_loop = nic.create_cq();
+    if (loop_wqes(p) > 0) {
+      c.cq_loop = nic.create_cq(0);
       c.qp_loop =
           nic.create_loopback_qp(c.cq_loop, cfg_.ring_slots * loop_wqes(p));
     }
@@ -229,9 +231,12 @@ void HyperLoopGroup::setup_client_chain(Prim p) {
                               uint64_t{result_bytes()} * cfg_.max_inflight * 2,
                               rdma::kRemoteWrite | rdma::kLocalWrite);
 
-  cc.cq_down = nic.create_cq();
-  cc.cq_up = nic.create_cq();
-  cc.qp_down = nic.create_qp(cc.cq_down, nullptr, cfg_.max_inflight * 4 + 16);
+  cc.cq_down = nic.create_cq(0);  // counting-only: send side never polls
+  cc.cq_up = nic.create_cq();     // polled by on_ack_cqe for the imm seq
+  // Room for a full credit window of staged submissions: extent WRITEs +
+  // FLUSH + metadata SEND per op (kWriteV stages the most per op).
+  cc.qp_down = nic.create_qp(cc.cq_down, nullptr,
+                             cfg_.max_inflight * (desc_count(p) + 2) + 16);
   cc.qp_up = nic.create_qp(nullptr, cc.cq_up, 16);
 
   // In-flight ops are direct-mapped by seq: acks arrive in chain FIFO
@@ -253,34 +258,54 @@ void HyperLoopGroup::rearm_slot(size_t replica, Prim p, uint64_t seq) {
     recv.sges.push_back(Sge{qp->slot_addr(wqe_seq), kDescBytes, c.ring_lkey});
   };
 
+  // Each queue's slot WQEs are staged together and doorbelled once — the
+  // off-path refill driver batches its posts like a real ibv_post_send
+  // with a linked WR list.
   switch (p) {
     case Prim::kWrite: {
-      nic.post_send(c.qp_next, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
-      nic.post_send(c.qp_next, placeholder(), /*deferred=*/true);  // WRITE
-      nic.post_send(c.qp_next, placeholder(), true);               // FLUSH
-      nic.post_send(c.qp_next, placeholder(), true);               // SEND
+      nic.stage_send(c.qp_next, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.stage_send(c.qp_next, placeholder(), /*deferred=*/true);  // WRITE
+      nic.stage_send(c.qp_next, placeholder(), true);               // FLUSH
+      nic.stage_send(c.qp_next, placeholder(), true);               // SEND
+      nic.ring_doorbell(c.qp_next);
       desc_sge(c.qp_next, 4 * seq + 1);
       desc_sge(c.qp_next, 4 * seq + 2);
       desc_sge(c.qp_next, 4 * seq + 3);
       break;
     }
+    case Prim::kWriteV: {
+      const uint64_t n = next_wqes(Prim::kWriteV);
+      nic.stage_send(c.qp_next, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      for (uint32_t j = 0; j < kMaxExtents; ++j) {
+        nic.stage_send(c.qp_next, placeholder(), true);  // WRITE / NOP
+      }
+      nic.stage_send(c.qp_next, placeholder(), true);  // FLUSH
+      nic.stage_send(c.qp_next, placeholder(), true);  // SEND
+      nic.ring_doorbell(c.qp_next);
+      for (uint32_t j = 1; j < n; ++j) desc_sge(c.qp_next, n * seq + j);
+      break;
+    }
     case Prim::kMemcpy: {
-      nic.post_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
-      nic.post_send(c.qp_loop, placeholder(), true);  // COPY
-      nic.post_send(c.qp_loop, placeholder(), true);  // FLUSH
-      nic.post_send(c.qp_next,
-                    rdma::make_wait(c.cq_loop->id(), 2 * (seq + 1)));
-      nic.post_send(c.qp_next, placeholder(), true);  // SEND
+      nic.stage_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.stage_send(c.qp_loop, placeholder(), true);  // COPY
+      nic.stage_send(c.qp_loop, placeholder(), true);  // FLUSH
+      nic.ring_doorbell(c.qp_loop);
+      nic.stage_send(c.qp_next,
+                     rdma::make_wait(c.cq_loop->id(), 2 * (seq + 1)));
+      nic.stage_send(c.qp_next, placeholder(), true);  // SEND
+      nic.ring_doorbell(c.qp_next);
       desc_sge(c.qp_loop, 3 * seq + 1);
       desc_sge(c.qp_loop, 3 * seq + 2);
       desc_sge(c.qp_next, 2 * seq + 1);
       break;
     }
     case Prim::kCas: {
-      nic.post_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
-      nic.post_send(c.qp_loop, placeholder(), true);  // CAS
-      nic.post_send(c.qp_next, rdma::make_wait(c.cq_loop->id(), seq + 1));
-      nic.post_send(c.qp_next, placeholder(), true);  // SEND
+      nic.stage_send(c.qp_loop, rdma::make_wait(c.cq_recv_prev->id(), seq + 1));
+      nic.stage_send(c.qp_loop, placeholder(), true);  // CAS
+      nic.ring_doorbell(c.qp_loop);
+      nic.stage_send(c.qp_next, rdma::make_wait(c.cq_loop->id(), seq + 1));
+      nic.stage_send(c.qp_next, placeholder(), true);  // SEND
+      nic.ring_doorbell(c.qp_next);
       desc_sge(c.qp_loop, 2 * seq + 1);
       desc_sge(c.qp_next, 2 * seq + 1);
       break;
@@ -417,6 +442,57 @@ uint32_t HyperLoopGroup::stage_gwrite_blob(uint64_t seq, uint64_t offset,
   return static_cast<uint32_t>(3 * kDescBytes * G);
 }
 
+uint32_t HyperLoopGroup::stage_gwritev_blob(uint64_t seq,
+                                            const ExtentVec& extents,
+                                            bool flush) {
+  const size_t G = replicas_.size();
+  const ClientChain& cc = client_chain_[static_cast<int>(Prim::kWriteV)];
+  const Addr slot =
+      cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
+  const uint32_t nd = desc_count(Prim::kWriteV);  // kMaxExtents + FLUSH + SEND
+
+  WqeDescriptor descs[kMaxExtents + 2];
+  for (size_t i = 0; i < G; ++i) {
+    const ReplicaChain& c =
+        replicas_[i].chain[static_cast<int>(Prim::kWriteV)];
+    if (i + 1 < G) {
+      const Replica& next = replicas_[i + 1];
+      for (uint32_t j = 0; j < kMaxExtents; ++j) {
+        if (j < extents.size()) {
+          const Extent& e = extents[j];
+          descs[j] = rdma::make_write(replicas_[i].data_base + e.offset, 0,
+                                      next.data_base + e.offset,
+                                      next.data_mr.rkey, e.len)
+                         .d;
+        } else {
+          descs[j] = nop_desc();
+        }
+      }
+      descs[kMaxExtents] =
+          flush ? rdma::make_flush(next.data_base, next.data_mr.rkey).d
+                : nop_desc();
+      descs[kMaxExtents + 1] =
+          rdma::make_send(
+              c.staging_base + (seq % cfg_.ring_slots) * c.staging_slot,
+              c.ring_lkey, c.staging_len)
+              .d;
+    } else {
+      // Last hop only ACKs: its own data and durability were handled by
+      // the previous hop's WRITEs + FLUSH (or the client's, when G == 1).
+      descs[0] = rdma::make_write_imm(
+                     0, 0,
+                     cc.ack_base +
+                         (seq % (cfg_.max_inflight * 2)) * result_bytes(),
+                     cc.ack_mr.rkey, 0, static_cast<uint32_t>(seq))
+                     .d;
+      for (uint32_t j = 1; j < nd; ++j) descs[j] = nop_desc();
+    }
+    for (uint32_t j = 0; j < nd; ++j) descs[j].active = 1;
+    client_.mem().write(slot + i * nd * kDescBytes, descs, nd * kDescBytes);
+  }
+  return static_cast<uint32_t>(nd * kDescBytes * G);
+}
+
 uint32_t HyperLoopGroup::stage_gmemcpy_blob(uint64_t seq, uint64_t src,
                                             uint64_t dst, uint32_t len,
                                             bool flush) {
@@ -495,7 +571,7 @@ uint32_t HyperLoopGroup::stage_gcas_blob(uint64_t seq, uint64_t offset,
   return static_cast<uint32_t>(2 * kDescBytes * G);
 }
 
-void HyperLoopGroup::post_meta_send(Prim p, uint64_t seq, uint32_t blob_len) {
+void HyperLoopGroup::stage_meta_send(Prim p, uint64_t seq, uint32_t blob_len) {
   ClientChain& cc = client_chain_[static_cast<int>(p)];
   const Addr slot =
       cc.staging_base + (seq % (cfg_.max_inflight * 2)) * cc.staging_slot;
@@ -505,13 +581,16 @@ void HyperLoopGroup::post_meta_send(Prim p, uint64_t seq, uint32_t blob_len) {
     send.d.aux_addr = client_zeros_;
     send.d.aux_length = result_bytes();
   }
-  client_.nic().post_send(cc.qp_down, send);
+  client_.nic().stage_send(cc.qp_down, send);
 }
 
 void HyperLoopGroup::dispatch(Prim p, QueuedOp&& op) {
   switch (p) {
     case Prim::kWrite:
       issue_gwrite(op.a, op.len, op.flush, std::move(op.done));
+      break;
+    case Prim::kWriteV:
+      issue_gwritev(op.extents, op.flush, std::move(op.done));
       break;
     case Prim::kMemcpy:
       issue_gmemcpy(op.a, op.b, op.len, op.flush, std::move(op.done));
@@ -564,18 +643,48 @@ void HyperLoopGroup::issue_gwrite(uint64_t offset, uint32_t len, bool flush,
   counters_.bytes_replicated += uint64_t{len} * replicas_.size();
 
   // Data WRITE (+FLUSH) to the first replica, then the metadata SEND that
-  // drives the offloaded chain.
+  // drives the offloaded chain — staged together under one doorbell.
   const Replica& r0 = replicas_.front();
   Wqe data = rdma::make_write(client_region_ + offset, 0,
                               r0.data_base + offset, r0.data_mr.rkey, len);
-  client_.nic().post_send(cc.qp_down, data);
+  client_.nic().stage_send(cc.qp_down, data);
   if (flush) {
-    client_.nic().post_send(
+    client_.nic().stage_send(
         cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
   }
   const uint32_t blob_len = stage_gwrite_blob(seq, offset, len, flush);
   claim_slot(cc, seq).done = std::move(done);
-  post_meta_send(Prim::kWrite, seq, blob_len);
+  stage_meta_send(Prim::kWrite, seq, blob_len);
+  client_.nic().ring_doorbell(cc.qp_down);
+}
+
+void HyperLoopGroup::issue_gwritev(const ExtentVec& extents, bool flush,
+                                   Done done) {
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kWriteV)];
+  const uint64_t seq = cc.next_seq++;
+  ++counters_.gwritevs;
+  counters_.gwritev_extents += extents.size();
+  for (const Extent& e : extents) {
+    counters_.bytes_replicated += uint64_t{e.len} * replicas_.size();
+  }
+
+  // All extent WRITEs to the first replica, one trailing FLUSH, and the
+  // metadata SEND — one doorbell, one chain traversal.
+  const Replica& r0 = replicas_.front();
+  for (const Extent& e : extents) {
+    client_.nic().stage_send(
+        cc.qp_down,
+        rdma::make_write(client_region_ + e.offset, 0, r0.data_base + e.offset,
+                         r0.data_mr.rkey, e.len));
+  }
+  if (flush) {
+    client_.nic().stage_send(
+        cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
+  }
+  const uint32_t blob_len = stage_gwritev_blob(seq, extents, flush);
+  claim_slot(cc, seq).done = std::move(done);
+  stage_meta_send(Prim::kWriteV, seq, blob_len);
+  client_.nic().ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len,
@@ -589,7 +698,8 @@ void HyperLoopGroup::issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len,
   client_.nvm().persist(client_region_ + dst, len);
   const uint32_t blob_len = stage_gmemcpy_blob(seq, src, dst, len, flush);
   claim_slot(cc, seq).done = std::move(done);
-  post_meta_send(Prim::kMemcpy, seq, blob_len);
+  stage_meta_send(Prim::kMemcpy, seq, blob_len);
+  client_.nic().ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::issue_gcas(uint64_t offset, uint64_t expected,
@@ -600,7 +710,8 @@ void HyperLoopGroup::issue_gcas(uint64_t offset, uint64_t expected,
   const uint32_t blob_len =
       stage_gcas_blob(seq, offset, expected, desired, exec);
   claim_slot(cc, seq).cas_done = std::move(done);
-  post_meta_send(Prim::kCas, seq, blob_len);
+  stage_meta_send(Prim::kCas, seq, blob_len);
+  client_.nic().ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
@@ -619,6 +730,28 @@ void HyperLoopGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
   }
   ++cc.inflight;
   issue_gwrite(offset, len, flush, std::move(done));
+}
+
+void HyperLoopGroup::gwritev(const ExtentVec& extents, bool flush,
+                             Done done) {
+  assert(!stopped_ && "gwritev on a stopped group");
+  assert(!extents.empty());
+#ifndef NDEBUG
+  for (const Extent& e : extents) {
+    assert(e.offset + e.len <= cfg_.region_size);
+  }
+#endif
+  ClientChain& cc = client_chain_[static_cast<int>(Prim::kWriteV)];
+  if (cc.inflight >= cfg_.max_inflight) {
+    QueuedOp op;
+    op.extents = extents;
+    op.flush = flush;
+    op.done = std::move(done);
+    cc.waiting.push_back(std::move(op));
+    return;
+  }
+  ++cc.inflight;
+  issue_gwritev(extents, flush, std::move(done));
 }
 
 void HyperLoopGroup::gmemcpy(uint64_t src_offset, uint64_t dst_offset,

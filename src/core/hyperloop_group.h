@@ -70,6 +70,8 @@ class HyperLoopGroup final : public ReplicationGroup {
 
   struct OpCounters {
     uint64_t gwrites = 0;
+    uint64_t gwritevs = 0;         ///< batched submissions (chain traversals)
+    uint64_t gwritev_extents = 0;  ///< extents carried by those batches
     uint64_t gmemcpys = 0;
     uint64_t gcas = 0;
     uint64_t gflushes = 0;
@@ -83,6 +85,7 @@ class HyperLoopGroup final : public ReplicationGroup {
   size_t group_size() const override { return replicas_.size(); }
   uint64_t region_size() const override { return cfg_.region_size; }
   void gwrite(uint64_t offset, uint32_t len, bool flush, Done done) override;
+  void gwritev(const ExtentVec& extents, bool flush, Done done) override;
   void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
                bool flush, Done done) override;
   void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
@@ -120,9 +123,15 @@ class HyperLoopGroup final : public ReplicationGroup {
   }
 
  private:
-  enum class Prim : uint8_t { kWrite = 0, kMemcpy = 1, kCas = 2 };
-  static constexpr int kNumPrims = 3;
+  /// kWriteV gets its own ring rather than widening kWrite's: a chain
+  /// slot must have a fixed WQE count (WAIT thresholds and refill
+  /// accounting depend on it), so a shared ring would bill every single
+  /// gWRITE the NOP cost of kMaxExtents unused WRITE slots.
+  enum class Prim : uint8_t { kWrite = 0, kMemcpy = 1, kCas = 2, kWriteV = 3 };
+  static constexpr int kNumPrims = 4;
   static constexpr uint32_t kDescBytes = sizeof(rdma::WqeDescriptor);
+  static constexpr uint32_t kMaxExtents =
+      static_cast<uint32_t>(ExtentVec::kCapacity);
 
   // One primitive's state on one replica.
   struct ReplicaChain {
@@ -169,6 +178,7 @@ class HyperLoopGroup final : public ReplicationGroup {
     uint32_t len = 0;
     bool flush = false;
     ExecMap exec;
+    ExtentVec extents;  ///< gWRITEV batch parked for a credit
     Done done;
     CasDone cas_done;
   };
@@ -191,17 +201,27 @@ class HyperLoopGroup final : public ReplicationGroup {
     sim::Ring<QueuedOp> waiting;  ///< ops parked for a credit
   };
 
-  // WQEs per ring slot on each queue, by primitive.
-  static uint32_t next_wqes(Prim p) { return p == Prim::kWrite ? 4 : 2; }
+  // WQEs per ring slot on each queue, by primitive. A kWriteV slot is
+  // [WAIT][WRITE x kMaxExtents][FLUSH][SEND]; unused WRITEs patch to NOP.
+  static uint32_t next_wqes(Prim p) {
+    if (p == Prim::kWriteV) return kMaxExtents + 3;
+    return p == Prim::kWrite ? 4 : 2;
+  }
   static uint32_t loop_wqes(Prim p) {
-    return p == Prim::kWrite ? 0 : (p == Prim::kMemcpy ? 3 : 2);
+    return p == Prim::kMemcpy ? 3 : (p == Prim::kCas ? 2 : 0);
   }
   /// Completions accumulating on cq_send_next per finished slot.
-  static uint32_t next_completions(Prim p) { return p == Prim::kWrite ? 3 : 1; }
+  static uint32_t next_completions(Prim p) {
+    if (p == Prim::kWriteV) return kMaxExtents + 2;
+    return p == Prim::kWrite ? 3 : 1;
+  }
   /// Completions accumulating on cq_loop per finished slot.
   static uint32_t loop_completions(Prim p) { return p == Prim::kMemcpy ? 2 : 1; }
 
-  uint32_t desc_count(Prim p) const { return p == Prim::kCas ? 2 : 3; }
+  uint32_t desc_count(Prim p) const {
+    if (p == Prim::kWriteV) return kMaxExtents + 2;
+    return p == Prim::kCas ? 2 : 3;
+  }
   uint32_t hop_payload(Prim p, size_t hop) const;  // bytes hop receives
   uint32_t result_bytes() const {
     return static_cast<uint32_t>(8 * replicas_.size());
@@ -220,18 +240,23 @@ class HyperLoopGroup final : public ReplicationGroup {
   // metadata staging ring slot (no temporary buffer); returns blob bytes.
   uint32_t stage_gwrite_blob(uint64_t seq, uint64_t offset, uint32_t len,
                              bool flush);
+  uint32_t stage_gwritev_blob(uint64_t seq, const ExtentVec& extents,
+                              bool flush);
   uint32_t stage_gmemcpy_blob(uint64_t seq, uint64_t src, uint64_t dst,
                               uint32_t len, bool flush);
   uint32_t stage_gcas_blob(uint64_t seq, uint64_t offset, uint64_t expected,
                            uint64_t desired, ExecMap exec);
 
   void issue_gwrite(uint64_t offset, uint32_t len, bool flush, Done done);
+  void issue_gwritev(const ExtentVec& extents, bool flush, Done done);
   void issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len, bool flush,
                      Done done);
   void issue_gcas(uint64_t offset, uint64_t expected, uint64_t desired,
                   ExecMap exec, CasDone done);
   void dispatch(Prim p, QueuedOp&& op);
-  void post_meta_send(Prim p, uint64_t seq, uint32_t blob_len);
+  /// Stages the metadata SEND on qp_down without ringing the doorbell —
+  /// each issue_* path stages all its WQEs and doorbells once.
+  void stage_meta_send(Prim p, uint64_t seq, uint32_t blob_len);
   void on_ack_cqe(Prim p);
 
   rdma::WqeDescriptor nop_desc() const;

@@ -6,9 +6,14 @@
 namespace hyperloop::core {
 
 ReplicatedWal::ReplicatedWal(ReplicationGroup& group, RegionLayout layout)
-    : group_(group), layout_(layout) {
+    : ReplicatedWal(group, layout, Options{}) {}
+
+ReplicatedWal::ReplicatedWal(ReplicationGroup& group, RegionLayout layout,
+                             Options opts)
+    : group_(group), layout_(layout), opts_(opts) {
   assert(layout_.valid());
   assert(layout_.region_size <= group.region_size());
+  assert(opts_.staged_capacity >= 1);
 }
 
 uint32_t ReplicatedWal::crc32_update(uint32_t crc, const void* data,
@@ -25,7 +30,7 @@ uint32_t ReplicatedWal::crc32_update(uint32_t crc, const void* data,
   return crc;
 }
 
-uint32_t ReplicatedWal::stage_record(const std::vector<Entry>& entries,
+uint32_t ReplicatedWal::stage_record(std::span<const Entry> entries,
                                      uint64_t lsn, uint64_t voff) {
   static constexpr uint8_t kZeroPad[8] = {};
 
@@ -65,9 +70,7 @@ uint32_t ReplicatedWal::stage_record(const std::vector<Entry>& entries,
   return hdr.total_len;
 }
 
-bool ReplicatedWal::append(const std::vector<Entry>& entries,
-                           AppendDone done) {
-  const uint64_t lsn = next_lsn_;
+bool ReplicatedWal::append(std::span<const Entry> entries, AppendDone done) {
   uint64_t rec_len = sizeof(RecordHeader);
   for (const Entry& e : entries) {
     rec_len += sizeof(EntryHeader) + ((e.data.size() + 7) & ~size_t{7});
@@ -79,20 +82,23 @@ bool ReplicatedWal::append(const std::vector<Entry>& entries,
   uint64_t wrap_pad = 0;
   if (rec_len > room_to_wrap) wrap_pad = room_to_wrap;
 
-  if (rec_len + wrap_pad > free_bytes()) {
+  // Backpressure: a full log and a full group-commit window look the same
+  // to callers — append fails and they must drain (execute / wait) first.
+  if (rec_len + wrap_pad > free_bytes() ||
+      staged_.size() >= opts_.staged_capacity) {
     ++stats_.append_failures;
     return false;
   }
-  ++next_lsn_;
+  const uint64_t lsn = next_lsn_++;
 
   if (wrap_pad > 0) {
+    // Stage the marker header locally; it replicates as an extent of the
+    // record's batch (the rest of the pad is junk readers skip via
+    // total_len).
     RecordHeader wrap;
     wrap.magic = kWrapMagic;
     wrap.total_len = static_cast<uint32_t>(wrap_pad);
     group_.client_store(log_phys(tail_), &wrap, sizeof(wrap));
-    // Replicate at least the marker header (the rest of the pad is junk
-    // that readers skip via total_len).
-    group_.gwrite(log_phys(tail_), sizeof(wrap), /*flush=*/true, [] {});
     tail_ += wrap_pad;
   }
 
@@ -104,15 +110,76 @@ bool ReplicatedWal::append(const std::vector<Entry>& entries,
   ++stats_.records_appended;
   stats_.bytes_appended += rec_len;
 
-  // 1) the record body, 2) the tail pointer. Both flushed; same-primitive
-  // ordering guarantees the tail never becomes durable before the record.
-  group_.gwrite(log_phys(rec_voff), static_cast<uint32_t>(rec_len),
-                /*flush=*/true, [] {});
-  write_pointer(RegionLayout::kTailOffset, tail_,
-                [lsn, done = std::move(done)]() mutable {
-                  if (done) done(lsn);
-                });
+  PendingRecord pr;
+  pr.rec_voff = rec_voff;
+  pr.rec_len = static_cast<uint32_t>(rec_len);
+  pr.wrap_len = static_cast<uint32_t>(wrap_pad);
+  pr.lsn = lsn;
+  pr.start = opts_.loop ? opts_.loop->now() : 0;
+  pr.done = std::move(done);
+  staged_.push_back(std::move(pr));
+
+  maybe_flush();
   return true;
+}
+
+void ReplicatedWal::maybe_flush() {
+  // At most one batch in flight. This is a correctness constraint, not
+  // just pacing: the tail-pointer extent is *gathered* from the client
+  // region at issue time by each hop's WRITE WQE, so a second batch's
+  // client_store of a newer tail value could be picked up by the first
+  // batch's still-traversing WRITEs — making the tail durable ahead of
+  // the records it covers. (CRC-based torn detection cannot catch that:
+  // after a ring wrap, the bytes under a stale tail are a *valid* old
+  // record.) One outstanding batch makes the gather race-free.
+  if (batch_outstanding_ || staged_.empty()) return;
+
+  ExtentVec ext;
+  uint64_t batch_tail = 0;
+  while (!staged_.empty() && inflight_count_ < ExtentVec::kCapacity) {
+    PendingRecord& pr = staged_.front();
+    const size_t needed = pr.wrap_len > 0 ? 2u : 1u;
+    // Reserve the last slot for the shared tail-pointer extent.
+    if (ext.size() + needed > ExtentVec::kCapacity - 1) break;
+    if (pr.wrap_len > 0) {
+      ext.push_back({log_phys(pr.rec_voff - pr.wrap_len),
+                     static_cast<uint32_t>(sizeof(RecordHeader))});
+    }
+    ext.push_back({log_phys(pr.rec_voff), pr.rec_len});
+    batch_tail = pr.rec_voff + pr.rec_len;
+    inflight_[inflight_count_++] = std::move(pr);
+    staged_.pop_front();
+  }
+  assert(inflight_count_ > 0 && !ext.empty());
+
+  // The tail rides as the *last* extent: extents land in list order, and
+  // each hop's gFLUSH persists them atomically, so the durable tail never
+  // runs ahead of the record bodies it commits.
+  group_.client_store(RegionLayout::kControlBase + RegionLayout::kTailOffset,
+                      &batch_tail, 8);
+  ext.push_back({RegionLayout::kControlBase + RegionLayout::kTailOffset, 8});
+
+  ++stats_.gwritev_batches;
+  records_per_gwrite_.record(inflight_count_);
+  batch_outstanding_ = true;
+  group_.gwritev(ext, /*flush=*/true, [this] { on_batch_done(); });
+}
+
+void ReplicatedWal::on_batch_done() {
+  const sim::Time now = opts_.loop ? opts_.loop->now() : 0;
+  // Fire completions by moving records out of inflight_ first and keep
+  // batch_outstanding_ set throughout: a done callback may append (and
+  // thus re-enter maybe_flush), which must not repopulate inflight_ while
+  // we iterate it.
+  const uint32_t n = inflight_count_;
+  for (uint32_t i = 0; i < n; ++i) {
+    PendingRecord pr = std::move(inflight_[i]);
+    if (opts_.loop) commit_latency_.record(now - pr.start);
+    if (pr.done) pr.done(pr.lsn);
+  }
+  inflight_count_ = 0;
+  batch_outstanding_ = false;
+  maybe_flush();
 }
 
 void ReplicatedWal::write_pointer(uint64_t ctrl_offset, uint64_t value,

@@ -1,8 +1,9 @@
 // Replicated write-ahead log (§5, "Log Replication" / "Log Processing").
 //
 // Records are redo logs: lists of (db_offset, bytes) modifications. The
-// client appends a record with Append() — a gWRITE+gFLUSH of the record
-// body followed by a gWRITE+gFLUSH of the tail pointer, so the tail is the
+// client appends a record with Append(): the record body and the tail
+// pointer are replicated together as one gWRITEV+gFLUSH — a single chain
+// traversal — with the tail as the *last* extent, so the tail is the
 // commit point: a record is committed iff the durable tail covers it.
 // ExecuteAndAdvance() applies the record at the head on every replica with
 // one gMEMCPY+gFLUSH per entry and then advances the durable head
@@ -10,24 +11,37 @@
 // committed-but-unprocessed record, which is idempotent because records
 // are pure redo.
 //
+// Group commit: at most one gWRITEV batch is in flight at a time (see
+// maybe_flush() for why the tail-pointer gather requires that). Appends
+// arriving while a batch is outstanding are staged into a bounded ring
+// and flushed together — several records plus one shared tail write per
+// traversal — amortizing the fixed per-traversal costs (per-hop WQEs,
+// descriptor-patch SEND, doorbell) exactly where HyperLoop pays them.
+//
 // Log space is a ring addressed by monotonically increasing virtual
 // offsets (physical = v % log_size); records never straddle the wrap — a
 // wrap-marker record pads the tail of the ring instead.
 //
 // The append/execute datapath is allocation-free in steady state: records
 // are serialized piecewise straight into the client's staging region (no
-// temporary buffer), and in-flight executions live in a pooled slot table
+// temporary buffer), staged/in-flight batch state lives in rings and
+// fixed arrays, and in-flight executions live in a pooled slot table
 // indexed by small integers. Completion callbacks are sim::SmallFn, sized
 // so every continuation in this file stays within the inline capacity.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/group.h"
 #include "core/region_layout.h"
+#include "sim/event_loop.h"
+#include "sim/ring.h"
 #include "sim/small_fn.h"
+#include "stats/histogram.h"
 
 namespace hyperloop::core {
 
@@ -50,16 +64,35 @@ class ReplicatedWal {
     uint64_t records_appended = 0;
     uint64_t records_executed = 0;
     uint64_t bytes_appended = 0;
-    uint64_t append_failures = 0;  ///< log-full backpressure events
+    uint64_t append_failures = 0;   ///< log-full / window-full backpressure
+    uint64_t gwritev_batches = 0;   ///< chain traversals issued by appends
+  };
+
+  /// Group-commit tuning. The defaults batch transparently; callers that
+  /// want per-record issue semantics back set staged_capacity = 1.
+  struct Options {
+    /// Staged-record window: appends arriving while a batch is in flight
+    /// queue here; when it is full, append() fails (append_failures) just
+    /// like a full log. Must be >= 1.
+    uint32_t staged_capacity = 64;
+    /// Clock for the commit-latency histogram; nullptr disables timing.
+    sim::EventLoop* loop = nullptr;
   };
 
   ReplicatedWal(ReplicationGroup& group, RegionLayout layout);
+  ReplicatedWal(ReplicationGroup& group, RegionLayout layout, Options opts);
 
   /// Appends a redo record. Returns false (and does nothing) if the log
-  /// lacks space — the caller must ExecuteAndAdvance (truncate) first.
-  /// `done` fires with the record's LSN once the record *and* the tail
-  /// pointer are durably replicated.
-  bool append(const std::vector<Entry>& entries, AppendDone done);
+  /// or the group-commit window lacks space — the caller must
+  /// ExecuteAndAdvance (truncate) first. `done` fires with the record's
+  /// LSN once the record *and* the tail pointer are durably replicated.
+  /// Span-style view: vectors, arrays and braced lists share one
+  /// allocation-free signature.
+  bool append(std::span<const Entry> entries, AppendDone done);
+  bool append(std::initializer_list<Entry> entries, AppendDone done) {
+    return append(std::span<const Entry>(entries.begin(), entries.size()),
+                  std::move(done));
+  }
 
   /// Applies the record at the head on all replicas (gMEMCPY+gFLUSH per
   /// entry), then durably advances the head. Returns false if there is
@@ -74,6 +107,15 @@ class ReplicatedWal {
   bool empty() const { return head_ == tail_; }
   const Stats& stats() const { return stats_; }
   const RegionLayout& layout() const { return layout_; }
+
+  /// Records per issued gWRITEV batch (group-commit amortization ratio).
+  const stats::Histogram& records_per_gwrite() const {
+    return records_per_gwrite_;
+  }
+  /// append() call to durable-commit latency (needs Options::loop).
+  const stats::Histogram& commit_latency() const { return commit_latency_; }
+  /// Appends staged but not yet issued (waiting for the in-flight batch).
+  size_t staged_records() const { return staged_.size(); }
 
   /// Crash recovery over a raw region image: re-applies every record in
   /// [head, tail) to the DB area and returns the number applied. Works on
@@ -107,6 +149,17 @@ class ReplicatedWal {
     uint32_t pad = 0;
   };
 
+  /// One record staged for (or riding in) a group-commit batch. Carries
+  /// everything needed to build its extents and complete its append.
+  struct PendingRecord {
+    uint64_t rec_voff = 0;
+    uint32_t rec_len = 0;
+    uint32_t wrap_len = 0;  ///< wrap-marker pad preceding the record, 0 = none
+    uint64_t lsn = 0;
+    sim::Time start = 0;  ///< append() time (commit-latency histogram)
+    AppendDone done;
+  };
+
   /// One in-flight ExecuteAndAdvance. Pooled (free-list) so concurrent
   /// executions — the two-phase layer runs several — recycle slots
   /// instead of allocating shared counters per record. Callbacks capture
@@ -128,8 +181,15 @@ class ReplicatedWal {
   /// virtual offset `voff` (header, then per entry: EntryHeader, data,
   /// zero pad to 8B), computing the body checksum incrementally. Returns
   /// the record's total length. No temporary buffer.
-  uint32_t stage_record(const std::vector<Entry>& entries, uint64_t lsn,
+  uint32_t stage_record(std::span<const Entry> entries, uint64_t lsn,
                         uint64_t voff);
+
+  /// Issues the next group-commit batch if none is in flight: packs as
+  /// many staged records (plus their wrap markers) as fit in one
+  /// ExtentVec, reserving the last slot for the shared tail-pointer
+  /// extent, and replicates them in one gwritev+gFLUSH.
+  void maybe_flush();
+  void on_batch_done();
 
   uint32_t acquire_exec_op();
   void finish_exec(uint32_t idx);
@@ -147,12 +207,23 @@ class ReplicatedWal {
 
   ReplicationGroup& group_;
   RegionLayout layout_;
+  Options opts_;
   uint64_t head_ = 0;
   uint64_t tail_ = 0;
   uint64_t next_lsn_ = 1;
   Stats stats_;
   std::vector<ExecOp> exec_ops_;     ///< slot pool, grows to high water
   std::vector<uint32_t> exec_free_;  ///< free slot indices (LIFO)
+
+  // Group-commit state: staged appends wait here for the single in-flight
+  // batch; the batch's own records sit in the fixed inflight_ array
+  // (bounded by the extent capacity) until the chain ack fires them.
+  sim::Ring<PendingRecord> staged_;
+  PendingRecord inflight_[ExtentVec::kCapacity];
+  uint32_t inflight_count_ = 0;
+  bool batch_outstanding_ = false;
+  stats::Histogram records_per_gwrite_;
+  stats::Histogram commit_latency_;
 };
 
 template <typename LoadFn, typename StoreFn>

@@ -4,11 +4,13 @@ namespace hyperloop::rdma {
 
 void CompletionQueue::push(const Cqe& cqe) {
   ++completion_count_;
-  if (queue_.size() >= capacity_) {
-    queue_.pop_front();
-    ++dropped_;
+  if (capacity_ > 0) {
+    if (queue_.size() >= capacity_) {
+      queue_.pop_front();
+      ++dropped_;
+    }
+    queue_.push_back(cqe);
   }
-  queue_.push_back(cqe);
   if (armed_ && notify_) {
     armed_ = false;
     notify_();

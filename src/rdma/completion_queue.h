@@ -39,6 +39,13 @@ struct Cqe {
 };
 
 /// A completion queue with event notification and a WAIT-visible counter.
+///
+/// `capacity == 0` makes the CQ *counting-only*: pushes bump the counter
+/// (and fire notify/watchers) but retain no CQE, so poll() always returns
+/// false. HyperLoop's chain CQs are consumed exclusively through WAIT
+/// thresholds and never polled — a counting-only CQ keeps them from
+/// accumulating thousands of dead CQEs (and the ring growth that entails)
+/// per ring wrap.
 class CompletionQueue {
  public:
   explicit CompletionQueue(uint32_t id, size_t capacity = 4096)

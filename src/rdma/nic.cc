@@ -78,12 +78,23 @@ void Nic::destroy_qp(QueuePair* q) {
 }
 
 uint64_t Nic::post_send(QueuePair* qp, Wqe wqe, bool deferred_ownership) {
+  const uint64_t seq = stage_send(qp, wqe, deferred_ownership);
+  ring_doorbell(qp);
+  return seq;
+}
+
+uint64_t Nic::stage_send(QueuePair* qp, Wqe wqe, bool deferred_ownership) {
   assert(qp->sq_depth() < qp->sq_slots && "send queue overflow");
   wqe.d.active = deferred_ownership ? 0 : 1;
   const uint64_t seq = qp->sq_tail++;
   mem_.write_obj(qp->slot_addr(seq), wqe);
-  kick(qp);
+  ++counters_.wqes_posted;
   return seq;
+}
+
+void Nic::ring_doorbell(QueuePair* qp) {
+  ++counters_.doorbells;
+  kick(qp);
 }
 
 void Nic::grant_ownership(QueuePair* qp, uint64_t slot_seq) {

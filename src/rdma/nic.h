@@ -81,6 +81,9 @@ class Nic {
 
   struct Counters {
     uint64_t wqes_executed = 0;
+    uint64_t wqes_posted = 0;  ///< send WQEs written into rings
+    uint64_t doorbells = 0;    ///< doorbell rings (wqes_posted/doorbells =
+                               ///< WQEs per doorbell, the coalescing ratio)
     uint64_t packets_tx = 0;
     uint64_t packets_rx = 0;
     uint64_t bytes_tx = 0;
@@ -143,7 +146,20 @@ class Nic {
   /// Posts a send WQE. With `deferred_ownership` the WQE is written with
   /// active=0 and the engine will stall at it until a DMA patch (or
   /// grant_ownership) activates it. Returns the WQE's slot sequence.
+  /// Equivalent to stage_send() + ring_doorbell(): one doorbell per WQE.
   uint64_t post_send(QueuePair* qp, Wqe wqe, bool deferred_ownership = false);
+
+  /// Batched-post half of post_send: writes the WQE into the ring without
+  /// ringing the doorbell. Stage N WQEs, then ring_doorbell() once — the
+  /// engine fetches the whole staged span off a single doorbell instead
+  /// of one DMA-fetch wakeup per WQE (the driver-side coalescing real
+  /// NICs get from ibv_post_send with a linked WR list).
+  uint64_t stage_send(QueuePair* qp, Wqe wqe, bool deferred_ownership = false);
+
+  /// Makes everything staged on `qp` visible to the engine. Counted in
+  /// Counters::doorbells; post-only sequences that never doorbell are a
+  /// bug (staged WQEs execute only after the next doorbell or WAIT wake).
+  void ring_doorbell(QueuePair* qp);
 
   /// Activates a previously deferred WQE (local driver path).
   void grant_ownership(QueuePair* qp, uint64_t slot_seq);

@@ -280,5 +280,67 @@ TEST(NicAllocTransaction, WalLockTransactionLapAllocatesNothing) {
   EXPECT_EQ(word, 0u);  // released
 }
 
+// The group-commit datapath: a burst of appends stages records into the
+// WAL's pending ring, issues multi-extent gWRITEV batches (stage ->
+// gwritev -> gFLUSH -> complete), and drains with ExecuteAndAdvance. In
+// steady state the whole cycle — staged-ring churn, extent packing, the
+// kWriteV descriptor patch, NOP-padded chain execution, batched
+// completions, latency histogram recording — must not touch the heap.
+TEST(NicAllocTransaction, GroupCommitGwritevLapAllocatesNothing) {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+  RegionLayout layout;
+  layout.region_size = 1 << 20;
+  layout.log_size = 64 << 10;
+  layout.num_locks = 16;
+  HyperLoopGroup::Config gc;
+  gc.region_size = layout.region_size;
+  gc.ring_slots = 64;
+  gc.max_inflight = 16;
+  std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                               &cluster.server(2)};
+  HyperLoopGroup group(cluster.server(3), reps, gc);
+  ReplicatedWal::Options wo;
+  wo.staged_capacity = 16;
+  wo.loop = &cluster.loop();
+  ReplicatedWal wal(group, layout, wo);
+
+  const std::vector<uint8_t> payload(48, 0x5C);
+  std::vector<ReplicatedWal::Entry> entries;
+  entries.push_back({/*db_offset=*/128, payload});
+
+  uint64_t committed = 0;
+  auto lap = [&] {
+    // Burst: the first append issues its batch immediately; the rest
+    // stage into the pending ring and flush as grouped gwritevs when the
+    // in-flight batch's chain ack frees the window.
+    for (int k = 0; k < 6; ++k) {
+      ASSERT_TRUE(wal.append(entries, [&](uint64_t) { ++committed; }));
+    }
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(5));
+    while (wal.execute_and_advance(ReplicatedWal::Done{})) {
+    }
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(5));
+  };
+
+  for (int i = 0; i < 24; ++i) lap();
+  ASSERT_EQ(committed, 24u * 6u);
+  ASSERT_GT(wal.stats().gwritev_batches, 0u);
+  ASSERT_GT(wal.records_per_gwrite().max(), 1);  // batching really happened
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 4; ++i) lap();
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "group-commit lap (stage -> gwritev -> gflush -> complete) "
+      << "performed " << (g_alloc_count - before) << " heap allocations";
+  EXPECT_EQ(committed, 28u * 6u);
+  EXPECT_EQ(wal.commit_latency().count(), committed);
+  EXPECT_EQ(group.counters().gwritevs, wal.stats().gwritev_batches);
+}
+
 }  // namespace
 }  // namespace hyperloop::core

@@ -22,6 +22,12 @@ src/core/fanout_group.h
 src/core/fanout_group.cc
 src/core/wal.h
 src/core/wal.cc
+src/rdma/nic.h
+src/rdma/nic.cc
+src/rdma/completion_queue.h
+src/rdma/completion_queue.cc
+src/rdma/queue_pair.h
+src/rdma/slot_table.h
 "
 
 status=0
