@@ -247,6 +247,40 @@ void BM_HyperLoopChainPacketsPerSec(benchmark::State& state) {
 }
 BENCHMARK(BM_HyperLoopChainPacketsPerSec);
 
+// Large-payload replication: one 16 KB - 256 KB gWRITE at a time through a
+// 3-replica chain. At these sizes the wall clock is dominated by the real
+// memmoves the datapath performs per hop (client DMA gather, per-hop
+// forward gathers, per-sink NVM writes), not by per-packet bookkeeping —
+// this is the copy-bound regime fig8's 128 B - 8 KB sweep never reaches.
+// Ops rotate through four disjoint region slots so one op's source bytes
+// are never overwritten while a predecessor still references them.
+void BM_LargePayloadReplication(benchmark::State& state) {
+  using namespace hyperloop::bench;
+  const uint32_t len = static_cast<uint32_t>(state.range(0));
+  auto cluster = make_cluster(3, 42);
+  auto group = make_group(*cluster, 3, Backend::kHyperLoop);
+  std::vector<uint8_t> payload(len, 0x5A);
+  constexpr uint64_t kSlots = 4;
+  for (uint64_t s = 0; s < kSlots; ++s) {
+    group->client_store(s * len, payload.data(), len);
+  }
+  cluster->loop().run_until(sim::msec(1));
+  uint64_t n = 0;
+  for (auto _ : state) {
+    bool done = false;
+    group->gwrite((n++ % kSlots) * len, len, true, [&] { done = true; });
+    while (!done) {
+      cluster->loop().run_until(cluster->loop().now() + sim::usec(50));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+}
+BENCHMARK(BM_LargePayloadReplication)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
 // The client-side op bookkeeping in isolation — no network, no simulated
 // time: claim a sequence-indexed pending slot, park the completion
 // callback inline, route overflow through the credit-wait ring, then
