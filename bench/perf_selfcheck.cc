@@ -45,12 +45,13 @@ BENCHMARK(BM_EventLoop);
 
 // Same chain, but the closure carries Packet-sized captured state — the
 // shape of the real per-hop delivery closures in network.cc/nic.cc
-// (~96 B Packet + this pointer). Callbacks beyond std::function's 16 B
+// (~100 B Packet + this pointer). Callbacks beyond std::function's 16 B
 // SBO used to heap-allocate on every schedule; the slab loop keeps them
 // in its 112 B inline slot storage.
 void BM_EventLoopPacketCapture(benchmark::State& state) {
   struct Blob {
-    uint64_t w[12] = {};  // 96 B, sizeof(rdma::Packet)
+    uint64_t w[12] = {};  // ~sizeof(rdma::Packet); 13 words would spill
+                          // the 112 B Chain past the inline slot
   };
   struct Chain {
     sim::EventLoop* loop;
@@ -266,6 +267,7 @@ void BM_LargePayloadReplication(benchmark::State& state) {
   }
   cluster->loop().run_until(sim::msec(1));
   uint64_t n = 0;
+  const uint64_t copied_before = rdma::PayloadBuf::bytes_copied();
   for (auto _ : state) {
     bool done = false;
     group->gwrite((n++ % kSlots) * len, len, true, [&] { done = true; });
@@ -275,6 +277,11 @@ void BM_LargePayloadReplication(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+  // Copy discipline, observable in the bench output: 4.0 = one source
+  // DMA-in + three sink DMA-outs (the zero-copy target for group=3).
+  state.counters["copies_per_byte"] = benchmark::Counter(
+      static_cast<double>(rdma::PayloadBuf::bytes_copied() - copied_before) /
+      (static_cast<double>(state.iterations()) * len));
 }
 BENCHMARK(BM_LargePayloadReplication)
     ->Arg(16 << 10)

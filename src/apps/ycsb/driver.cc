@@ -54,7 +54,15 @@ void YcsbDriver::thread_loop() {
 }
 
 void YcsbDriver::finish_op(OpType t, sim::Time started, bool ok) {
-  latency_[static_cast<size_t>(t)].record(loop_.now() - started);
+  const int64_t lat = static_cast<int64_t>(loop_.now() - started);
+  latency_[static_cast<size_t>(t)].record(lat);
+  // Aggregates accumulate here, one extra record per op, so overall() /
+  // writes() are O(1) getters instead of merging every bucket array on
+  // each call.
+  overall_.record(lat);
+  if (t == OpType::kUpdate || t == OpType::kInsert || t == OpType::kRmw) {
+    writes_.record(lat);
+  }
   ++completed_;
   if (!ok) ++failed_;
   if (completed_ == cfg_.total_ops) {
@@ -66,20 +74,6 @@ void YcsbDriver::finish_op(OpType t, sim::Time started, bool ok) {
   } else {
     thread_loop();
   }
-}
-
-stats::Histogram YcsbDriver::overall() const {
-  stats::Histogram h;
-  for (const auto& l : latency_) h.merge(l);
-  return h;
-}
-
-stats::Histogram YcsbDriver::writes() const {
-  stats::Histogram h;
-  h.merge(latency(OpType::kUpdate));
-  h.merge(latency(OpType::kInsert));
-  h.merge(latency(OpType::kRmw));
-  return h;
 }
 
 }  // namespace hyperloop::apps

@@ -88,12 +88,18 @@ void ChainManager::heartbeat_tick() {
     }
     echoed_[i] = false;
   }
-  // Send the next round.
+  // Send the next round as one coalesced sweep: a single scheduler
+  // wakeup pushes every replica's heartbeat (sendmmsg-style), so the
+  // steady-state event-loop load is one event per period, not one per
+  // replica.
+  std::vector<TcpStack::Dgram> sweep;
+  sweep.reserve(replicas_.size());
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (detected_dead_[i]) continue;
-    client_.tcp().send(client_pid_, replicas_[i].server->nic().id(),
-                       cfg_.port_base, encode(HbMsg{epoch_, static_cast<uint32_t>(i)}));
+    sweep.push_back({replicas_[i].server->nic().id(), cfg_.port_base,
+                     encode(HbMsg{epoch_, static_cast<uint32_t>(i)})});
   }
+  client_.tcp().send_many(client_pid_, std::move(sweep));
   client_.loop().schedule_after(cfg_.heartbeat_interval,
                                 [this] { heartbeat_tick(); });
 }

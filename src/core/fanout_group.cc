@@ -435,9 +435,12 @@ const std::vector<uint8_t>& FanoutGroup::build_blob(uint64_t seq,
   for (size_t b = 0; b < K; ++b) {
     const Backup& bb = backups_[b];
     if (op.kind == 0) {
-      put(rdma::make_write(primary_.data_base + op.offset, 0,
-                           bb.data_base + op.offset, bb.data_mr.rkey, op.len)
-              .d);
+      // Primary fans out bytes the client WRITE already landed: borrow.
+      Wqe fwd = rdma::make_write(primary_.data_base + op.offset, 0,
+                                 bb.data_base + op.offset, bb.data_mr.rkey,
+                                 op.len);
+      fwd.d.flags |= rdma::kWqeFlagZeroCopy;
+      put(fwd.d);
       put(op.flush ? rdma::make_flush(bb.data_base, bb.data_mr.rkey).d
                    : nop_desc());
     } else {

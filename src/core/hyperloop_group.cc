@@ -419,6 +419,10 @@ uint32_t HyperLoopGroup::stage_gwrite_blob(uint64_t seq, uint64_t offset,
                                  next.data_base + offset, next.data_mr.rkey,
                                  len)
                     .d;
+      // The forward hop re-sends bytes the upstream WRITE just landed in
+      // this replica's region — borrow them instead of re-gathering. The
+      // trio's own FLUSH/SEND behind it acks the WRITE cumulatively.
+      trio[0].flags |= rdma::kWqeFlagZeroCopy | rdma::kWqeFlagAckElide;
       trio[1] = flush ? rdma::make_flush(next.data_base, next.data_mr.rkey).d
                       : nop_desc();
       trio[2] = rdma::make_send(
@@ -464,6 +468,7 @@ uint32_t HyperLoopGroup::stage_gwritev_blob(uint64_t seq,
                                       next.data_base + e.offset,
                                       next.data_mr.rkey, e.len)
                          .d;
+          descs[j].flags |= rdma::kWqeFlagZeroCopy | rdma::kWqeFlagAckElide;
         } else {
           descs[j] = nop_desc();
         }
@@ -647,6 +652,9 @@ void HyperLoopGroup::issue_gwrite(uint64_t offset, uint32_t len, bool flush,
   const Replica& r0 = replicas_.front();
   Wqe data = rdma::make_write(client_region_ + offset, 0,
                               r0.data_base + offset, r0.data_mr.rkey, len);
+  // The metadata SEND behind it (same QP, one doorbell) acknowledges the
+  // WRITE cumulatively — no standalone ACK packet needed.
+  data.d.flags |= rdma::kWqeFlagAckElide;
   client_.nic().stage_send(cc.qp_down, data);
   if (flush) {
     client_.nic().stage_send(
@@ -672,10 +680,11 @@ void HyperLoopGroup::issue_gwritev(const ExtentVec& extents, bool flush,
   // metadata SEND — one doorbell, one chain traversal.
   const Replica& r0 = replicas_.front();
   for (const Extent& e : extents) {
-    client_.nic().stage_send(
-        cc.qp_down,
+    Wqe data =
         rdma::make_write(client_region_ + e.offset, 0, r0.data_base + e.offset,
-                         r0.data_mr.rkey, e.len));
+                         r0.data_mr.rkey, e.len);
+    data.d.flags |= rdma::kWqeFlagAckElide;  // metadata SEND acks the batch
+    client_.nic().stage_send(cc.qp_down, data);
   }
   if (flush) {
     client_.nic().stage_send(

@@ -305,6 +305,8 @@ void NaiveRdmaGroup::execute_and_forward(size_t i, Cmd cmd) {
                                   next.data_base + cmd.offset,
                                   next.data_mr.rkey,
                                   static_cast<uint32_t>(cmd.len));
+      // Forwarding bytes the upstream hop already landed here: borrow.
+      data.d.flags |= rdma::kWqeFlagZeroCopy;
       r.server->nic().post_send(r.qp_next, data);
     }
     r.server->nic().post_send(

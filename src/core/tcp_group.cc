@@ -108,16 +108,10 @@ void TcpReplicationGroup::on_replica_message(size_t i,
         switch (h.type) {
           case 0: {  // gwrite: apply the carried bytes
             if (h.len > 0) m.write(rr.data_base + h.offset, data.data(), h.len);
-            if (h.flush != 0) {
-              rr.server->nvm().persist(rr.data_base + h.offset, h.len);
-            }
             break;
           }
           case 1: {  // gmemcpy
             m.copy(rr.data_base + h.dst, rr.data_base + h.offset, h.len);
-            if (h.flush != 0) {
-              rr.server->nvm().persist(rr.data_base + h.dst, h.len);
-            }
             break;
           }
           case 2: {  // gcas
@@ -134,6 +128,13 @@ void TcpReplicationGroup::on_replica_message(size_t i,
           default:
             assert(false);
         }
+        // flush is a durability *barrier*, not a per-range hint: like the
+        // RDMA path's gFLUSH (a full NIC-cache write-back), it makes every
+        // previously applied command durable too. The pipeline is FIFO per
+        // replica, so everything older has already been applied here —
+        // this is what lets callers batch unflushed ops under one trailing
+        // flushed op (e.g. the WAL's execute batch).
+        if (h.flush != 0) rr.server->nvm().persist_all();
         forward(i, h, std::move(data));
       },
       /*fresh_wakeup=*/false);

@@ -47,6 +47,20 @@ class TcpStack {
   void send(sim::ProcessId sender_proc, rdma::NicId dst, uint16_t port,
             std::vector<uint8_t> data);
 
+  /// One outbound message of a send_many batch.
+  struct Dgram {
+    rdma::NicId dst;
+    uint16_t port;
+    std::vector<uint8_t> data;
+  };
+
+  /// Sends a batch of messages with a single scheduler wakeup
+  /// (sendmmsg-style): the sender's process is charged the summed
+  /// per-message CPU once, then every message hits the wire in order.
+  /// Periodic fan-out paths (heartbeat sweeps) use this so event-loop
+  /// load stays one event per period instead of one per destination.
+  void send_many(sim::ProcessId sender_proc, std::vector<Dgram> msgs);
+
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_received() const { return received_; }
 

@@ -75,9 +75,15 @@ void TransactionManager::acquire_next(std::shared_ptr<TxnState> st) {
 
   // All locks held: append (commit point), execute, release.
   const bool ok = wal_.append(st->writes, [this, st](uint64_t) mutable {
-    wal_.execute_and_advance([this, st = std::move(st)]() mutable {
+    // Execute drains the log in batches, so a concurrent transaction's
+    // call may already have claimed our record; its batch was issued
+    // ahead of us on the FIFO chain, so our lock releases land after the
+    // record is applied either way.
+    if (!wal_.execute_and_advance([this, st]() mutable {
+          commit_release(std::move(st), 0);
+        })) {
       commit_release(std::move(st), 0);
-    });
+    }
   });
   if (!ok) {
     // Log full: in-flight transactions each truncate their own record, so

@@ -167,6 +167,12 @@ void ReplicatedWal::maybe_flush() {
 
 void ReplicatedWal::on_batch_done() {
   const sim::Time now = opts_.loop ? opts_.loop->now() : 0;
+  // Advance the durable frontier before firing completions: a done
+  // callback typically calls execute_and_advance, which may drain every
+  // record this batch just committed.
+  assert(inflight_count_ > 0);
+  durable_tail_ = inflight_[inflight_count_ - 1].rec_voff +
+                  inflight_[inflight_count_ - 1].rec_len;
   // Fire completions by moving records out of inflight_ first and keep
   // batch_outstanding_ set throughout: a done callback may append (and
   // thus re-enter maybe_flush), which must not repopulate inflight_ while
@@ -201,7 +207,7 @@ uint32_t ReplicatedWal::acquire_exec_op() {
 
 void ReplicatedWal::finish_exec(uint32_t idx) {
   ExecOp& op = exec_ops_[idx];
-  ++stats_.records_executed;
+  stats_.records_executed += op.records;
   const uint64_t new_head = op.rec_voff + op.total_len;
   Done done = std::move(op.done);
   op.live = false;
@@ -214,7 +220,7 @@ void ReplicatedWal::finish_exec(uint32_t idx) {
 
 bool ReplicatedWal::execute_and_advance(Done done) {
   // Skip wrap markers.
-  while (head_ != tail_) {
+  while (head_ != durable_tail_) {
     RecordHeader hdr;
     group_.client_load(log_phys(head_), &hdr, sizeof(hdr));
     if (hdr.magic == kWrapMagic) {
@@ -224,43 +230,75 @@ bool ReplicatedWal::execute_and_advance(Done done) {
     assert(hdr.magic == kRecordMagic && "corrupt log record");
     break;
   }
-  if (head_ == tail_) return false;
+  if (head_ == durable_tail_) return false;
 
-  RecordHeader hdr;
-  const uint64_t rec_voff = head_;
-  group_.client_load(log_phys(rec_voff), &hdr, sizeof(hdr));
+  // Every record in [head_, durable_tail_) is committed AND replicated
+  // (its batch acked), so that whole backlog drains as ONE batch. Count
+  // pass first: the batch's entry total must be known before any gMEMCPY
+  // ack can fire, and the span end ties the batch to a single head
+  // advance.
+  const uint64_t batch_voff = head_;
+  uint64_t v = head_;
+  uint32_t num_entries = 0, num_records = 0;
+  while (v != durable_tail_) {
+    RecordHeader hdr;
+    group_.client_load(log_phys(v), &hdr, sizeof(hdr));
+    if (hdr.magic != kWrapMagic) {
+      assert(hdr.magic == kRecordMagic && "corrupt log record");
+      num_entries += hdr.num_entries;
+      ++num_records;
+    }
+    v += hdr.total_len;
+  }
 
-  // Advance the in-memory head eagerly so a concurrent caller processes
-  // the *next* record. FIFO gMEMCPY/gWRITE acks guarantee the durable
-  // head pointer writes still land in record order.
-  head_ = rec_voff + hdr.total_len;
+  // Advance the in-memory head eagerly so a concurrent caller sees the
+  // backlog as claimed. FIFO gMEMCPY/gWRITE acks guarantee the durable
+  // head pointer writes still land in batch order.
+  head_ = v;
 
-  // Claim a pooled op slot; one gMEMCPY+gFLUSH per entry decrements it,
-  // and the last ack durably advances the head (log truncation).
+  // Claim a pooled op slot; one gMEMCPY per entry decrements it, and the
+  // last ack durably advances the head (log truncation).
   const uint32_t idx = acquire_exec_op();
   ExecOp& op = exec_ops_[idx];
   assert(!op.live);
-  op.rec_voff = rec_voff;
-  op.total_len = hdr.total_len;
-  op.remaining = hdr.num_entries;
+  op.rec_voff = batch_voff;
+  op.total_len = static_cast<uint32_t>(v - batch_voff);
+  op.remaining = num_entries;
+  op.records = num_records;
   op.live = true;
   op.done = std::move(done);
+  ++stats_.exec_batches;
 
-  if (hdr.num_entries == 0) {
+  if (num_entries == 0) {
     finish_exec(idx);
     return true;
   }
 
-  uint64_t p = rec_voff + sizeof(RecordHeader);
-  for (uint32_t i = 0; i < hdr.num_entries; ++i) {
-    EntryHeader eh;
-    group_.client_load(log_phys(p), &eh, sizeof(eh));
-    const uint64_t data_voff = p + sizeof(EntryHeader);
-    group_.gmemcpy(log_phys(data_voff), layout_.db_base() + eh.db_offset,
-                   eh.len, /*flush=*/true, [this, idx] {
-                     if (--exec_ops_[idx].remaining == 0) finish_exec(idx);
-                   });
-    p = data_voff + ((eh.len + 7) & ~uint64_t{7});
+  // Issue pass: the per-entry gMEMCPYs ride unflushed — the chain applies
+  // them in FIFO order on every replica, so the single gFLUSH carried by
+  // the trailing head-pointer advance (finish_exec -> write_pointer)
+  // persists the whole batch at once instead of paying one flush per
+  // record.
+  uint64_t r = batch_voff;
+  while (r != v) {
+    RecordHeader hdr;
+    group_.client_load(log_phys(r), &hdr, sizeof(hdr));
+    if (hdr.magic == kWrapMagic) {
+      r += hdr.total_len;
+      continue;
+    }
+    uint64_t p = r + sizeof(RecordHeader);
+    for (uint32_t i = 0; i < hdr.num_entries; ++i) {
+      EntryHeader eh;
+      group_.client_load(log_phys(p), &eh, sizeof(eh));
+      const uint64_t data_voff = p + sizeof(EntryHeader);
+      group_.gmemcpy(log_phys(data_voff), layout_.db_base() + eh.db_offset,
+                     eh.len, /*flush=*/false, [this, idx] {
+                       if (--exec_ops_[idx].remaining == 0) finish_exec(idx);
+                     });
+      p = data_voff + ((eh.len + 7) & ~uint64_t{7});
+    }
+    r += hdr.total_len;
   }
   return true;
 }
@@ -270,6 +308,9 @@ void ReplicatedWal::reload_pointers() {
                      &head_, 8);
   group_.client_load(RegionLayout::kControlBase + RegionLayout::kTailOffset,
                      &tail_, 8);
+  // The recovered tail came from the durable control region, so every
+  // record below it is committed and replicated by definition.
+  durable_tail_ = tail_;
 }
 
 }  // namespace hyperloop::core

@@ -5,9 +5,11 @@
 // pointer are replicated together as one gWRITEV+gFLUSH — a single chain
 // traversal — with the tail as the *last* extent, so the tail is the
 // commit point: a record is committed iff the durable tail covers it.
-// ExecuteAndAdvance() applies the record at the head on every replica with
-// one gMEMCPY+gFLUSH per entry and then advances the durable head
-// (truncation). Replay() performs crash recovery: it re-applies every
+// ExecuteAndAdvance() drains every committed-but-unprocessed record in
+// one batch: an unflushed gMEMCPY per entry applies them on every replica
+// and a single flushed head advance (truncation) persists the lot — the
+// chain's FIFO order guarantees the trailing gFLUSH lands after every
+// apply. Replay() performs crash recovery: it re-applies every
 // committed-but-unprocessed record, which is idempotent because records
 // are pure redo.
 //
@@ -66,6 +68,7 @@ class ReplicatedWal {
     uint64_t bytes_appended = 0;
     uint64_t append_failures = 0;   ///< log-full / window-full backpressure
     uint64_t gwritev_batches = 0;   ///< chain traversals issued by appends
+    uint64_t exec_batches = 0;      ///< batched execute_and_advance drains
   };
 
   /// Group-commit tuning. The defaults batch transparently; callers that
@@ -94,9 +97,14 @@ class ReplicatedWal {
                   std::move(done));
   }
 
-  /// Applies the record at the head on all replicas (gMEMCPY+gFLUSH per
-  /// entry), then durably advances the head. Returns false if there is
-  /// no unprocessed record. `done` fires when the head advance is durable.
+  /// Drains the whole committed backlog — [head, durable tail), every
+  /// record whose commit batch has acked — as one batch: an unflushed
+  /// gMEMCPY per entry applies the records on every replica,
+  /// then a single flushed head advance (log truncation) persists the
+  /// batch — one trailing gFLUSH instead of one per record, mirroring how
+  /// append() group-commits the log write. Returns false if there is no
+  /// unprocessed record (a concurrent caller may have claimed the
+  /// backlog). `done` fires when the head advance is durable.
   bool execute_and_advance(Done done);
 
   /// Virtual head/tail offsets (head == tail means empty).
@@ -160,14 +168,15 @@ class ReplicatedWal {
     AppendDone done;
   };
 
-  /// One in-flight ExecuteAndAdvance. Pooled (free-list) so concurrent
-  /// executions — the two-phase layer runs several — recycle slots
-  /// instead of allocating shared counters per record. Callbacks capture
-  /// the slot *index*, never a pointer: the pool vector may grow.
+  /// One in-flight ExecuteAndAdvance batch. Pooled (free-list) so
+  /// concurrent executions — the two-phase layer runs several — recycle
+  /// slots instead of allocating shared counters per batch. Callbacks
+  /// capture the slot *index*, never a pointer: the pool vector may grow.
   struct ExecOp {
-    uint64_t rec_voff = 0;
-    uint32_t total_len = 0;
-    uint32_t remaining = 0;
+    uint64_t rec_voff = 0;   ///< batch start (virtual offset)
+    uint32_t total_len = 0;  ///< batch span, wrap markers included
+    uint32_t remaining = 0;  ///< gMEMCPY acks outstanding
+    uint32_t records = 0;    ///< records drained by this batch
     bool live = false;
     Done done;
   };
@@ -210,6 +219,11 @@ class ReplicatedWal {
   Options opts_;
   uint64_t head_ = 0;
   uint64_t tail_ = 0;
+  /// Durable frontier: end of the last record whose commit batch acked.
+  /// Execute drains [head_, durable_tail_) only — records beyond it are
+  /// staged or in flight, so the *replicas'* log areas do not hold their
+  /// bytes yet and a gMEMCPY there would apply garbage.
+  uint64_t durable_tail_ = 0;
   uint64_t next_lsn_ = 1;
   Stats stats_;
   std::vector<ExecOp> exec_ops_;     ///< slot pool, grows to high water

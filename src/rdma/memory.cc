@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cassert>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace hyperloop::rdma {
+
+void HostMemory::advise_hugepages(void* base, size_t len) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // Round inward to 2 MB boundaries — madvise wants aligned pages, and
+  // partial huge pages at the edges are not worth asking for.
+  constexpr uintptr_t kHuge = 2u << 20;
+  uintptr_t lo = (reinterpret_cast<uintptr_t>(base) + kHuge - 1) & ~(kHuge - 1);
+  uintptr_t hi = (reinterpret_cast<uintptr_t>(base) + len) & ~(kHuge - 1);
+  if (hi > lo) madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#else
+  (void)base;
+  (void)len;
+#endif
+}
 
 Addr HostMemory::alloc(size_t size, size_t align) {
   assert(align != 0 && (align & (align - 1)) == 0);
@@ -22,6 +40,8 @@ void HostMemory::check(Addr addr, size_t len) const {
 void HostMemory::write(Addr addr, const void* src, size_t len) {
   if (len == 0) return;
   check(addr, len);
+  // Copy-on-write: borrows over this range keep the pre-store bytes.
+  borrows_.materialize_range(addr, len);
   std::memcpy(bytes_.data() + addr, src, len);
   if (watched(addr, len)) notify(addr, len);
 }
@@ -29,6 +49,7 @@ void HostMemory::write(Addr addr, const void* src, size_t len) {
 void HostMemory::restore(Addr addr, const void* src, size_t len) {
   if (len == 0) return;
   check(addr, len);
+  borrows_.materialize_range(addr, len);
   std::memcpy(bytes_.data() + addr, src, len);
 }
 
@@ -42,6 +63,7 @@ void HostMemory::copy(Addr dst, Addr src, size_t len) {
   if (len == 0) return;
   check(dst, len);
   check(src, len);
+  borrows_.materialize_range(dst, len);
   std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
   if (watched(dst, len)) notify(dst, len);
 }
@@ -49,6 +71,7 @@ void HostMemory::copy(Addr dst, Addr src, size_t len) {
 void HostMemory::fill(Addr addr, uint8_t value, size_t len) {
   if (len == 0) return;
   check(addr, len);
+  borrows_.materialize_range(addr, len);
   std::memset(bytes_.data() + addr, value, len);
   if (watched(addr, len)) notify(addr, len);
 }
@@ -70,6 +93,11 @@ void HostMemory::notify(Addr addr, size_t len) {
 const uint8_t* HostMemory::view(Addr addr, size_t len) const {
   check(addr, len);
   return bytes_.data() + addr;
+}
+
+PayloadBuf HostMemory::borrow_payload(Addr addr, size_t len) {
+  check(addr, len);
+  return PayloadBuf::borrow(borrows_, bytes_.data() + addr, addr, len);
 }
 
 MemoryRegion MrTable::register_mr(Addr addr, uint64_t length, uint32_t access) {

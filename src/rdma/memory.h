@@ -20,6 +20,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "rdma/payload_buf.h"
 #include "sim/small_fn.h"
 
 namespace hyperloop::rdma {
@@ -38,7 +39,13 @@ enum Access : uint32_t {
 /// One server's physical memory: arena + bump allocator + write observers.
 class HostMemory {
  public:
-  explicit HostMemory(size_t capacity) : bytes_(capacity, 0) {}
+  explicit HostMemory(size_t capacity) {
+    // Advise after the allocation but before the zero-fill touches the
+    // pages, so the kernel can satisfy the first faults with huge pages.
+    bytes_.reserve(capacity);
+    advise_hugepages(bytes_.data(), capacity);
+    bytes_.resize(capacity);
+  }
   HostMemory(const HostMemory&) = delete;
   HostMemory& operator=(const HostMemory&) = delete;
 
@@ -87,6 +94,16 @@ class HostMemory {
   /// Read-only raw view (bounds-checked); used for payload gathers.
   const uint8_t* view(Addr addr, size_t len) const;
 
+  /// Zero-copy payload gather: a PayloadBuf aliasing [addr, addr+len)
+  /// directly, registered so any later overlapping store (or arena
+  /// teardown) first materializes the old bytes into the buffer's own
+  /// storage. This is the single-copy forwarding path — the borrow
+  /// itself moves no bytes.
+  PayloadBuf borrow_payload(Addr addr, size_t len);
+
+  /// Live zero-copy borrows over this arena (tests).
+  size_t live_borrows() const { return borrows_.live(); }
+
   /// Registers an observer called after every write overlapping
   /// [begin, end) with the written (addr, len). Writes entirely outside
   /// every registered window are filtered before any indirect call.
@@ -105,6 +122,13 @@ class HostMemory {
 
   void check(Addr addr, size_t len) const;
 
+  /// Asks the kernel to back the arena with huge pages (MADV_HUGEPAGE)
+  /// where available. Arenas are tens of megabytes and every payload
+  /// gather/scatter streams through them, so 4 KB pages spend a
+  /// measurable share of copy time on TLB refills. Advisory only — a
+  /// no-op on kernels or configs without THP.
+  static void advise_hugepages(void* base, size_t len);
+
   /// Fast-path filter: true iff [addr, addr+len) overlaps the union
   /// bounding box of all watched ranges. With no observers watch_hi_ is 0,
   /// so the first compare rejects everything; with the usual single NVM
@@ -121,6 +145,9 @@ class HostMemory {
   std::vector<WriteObserver> observers_;
   Addr watch_lo_ = ~Addr{0};  // union bounding box of watched ranges
   Addr watch_hi_ = 0;
+  // Declared after bytes_ so ~BorrowRegistry (materialize_all) runs
+  // first, while the arena bytes it copies from are still alive.
+  PayloadBuf::BorrowRegistry borrows_;
 };
 
 /// A registered memory region.

@@ -165,41 +165,53 @@ void Nic::kick(QueuePair* qp) {
   engine_step(qp);
 }
 
-void Nic::engine_step(QueuePair* qp) {
-  if (qp->sq_head == qp->sq_tail) {
-    qp->engine_running = false;
-    return;
-  }
-  const auto w = mem_.read_obj<Wqe>(qp->slot_addr(qp->sq_head));
-  if (static_cast<Opcode>(w.d.opcode) == Opcode::kWait && w.d.active) {
-    CompletionQueue* c = cq(w.wait_cq);
-    assert(c != nullptr && "WAIT references unknown CQ");
-    if (c->completion_count() >= w.wait_threshold) {
-      ++qp->sq_head;
-      ++counters_.wqes_executed;
-      loop_.schedule_after(cfg_.wait_cost, [this, qp] { engine_step(qp); });
+void Nic::engine_step(QueuePair* qp, sim::Duration lead) {
+  // Fused stepping: the examination runs synchronously in the caller's
+  // event (execute tail, kick, or a local-DMA completion) and schedules
+  // straight to the next WQE's *execution* instant — one event per WQE
+  // instead of a step event plus an execute event. `lead` carries the
+  // remaining engine occupancy of the activity that just finished (a
+  // payload gather, a consumed WAIT), so execution times are unchanged:
+  // next execute fires at now + lead + wqe_cost (+ context fetch).
+  // Satisfied WAITs are consumed inline, accumulating their cost into
+  // `lead` rather than bouncing through the heap per WAIT.
+  for (;;) {
+    if (qp->sq_head == qp->sq_tail) {
+      qp->engine_running = false;
       return;
     }
-    qp->engine_running = false;
-    qp->blocked_on_wait = true;
-    block_on_cq(qp, w.wait_cq);
-    return;
-  }
-  if (!w.d.active) {
-    // Ownership still with the driver; a DMA patch or grant_ownership()
-    // will re-kick this queue. Register on the DMA watch list so
-    // after_dma_write only scans queues that can actually be woken.
-    qp->engine_running = false;
-    if (!qp->on_dma_watch) {
-      qp->on_dma_watch = true;
-      dma_watch_.push_back(qp->qpn);
+    const auto w = mem_.read_obj<Wqe>(qp->slot_addr(qp->sq_head));
+    if (static_cast<Opcode>(w.d.opcode) == Opcode::kWait && w.d.active) {
+      CompletionQueue* c = cq(w.wait_cq);
+      assert(c != nullptr && "WAIT references unknown CQ");
+      if (c->completion_count() >= w.wait_threshold) {
+        ++qp->sq_head;
+        ++counters_.wqes_executed;
+        lead += cfg_.wait_cost;
+        continue;
+      }
+      qp->engine_running = false;
+      qp->blocked_on_wait = true;
+      block_on_cq(qp, w.wait_cq);
+      return;
     }
+    if (!w.d.active) {
+      // Ownership still with the driver; a DMA patch or grant_ownership()
+      // will re-kick this queue. Register on the DMA watch list so
+      // after_dma_write only scans queues that can actually be woken.
+      qp->engine_running = false;
+      if (!qp->on_dma_watch) {
+        qp->on_dma_watch = true;
+        dma_watch_.push_back(qp->qpn);
+      }
+      return;
+    }
+    ++qp->sq_head;
+    ++counters_.wqes_executed;
+    loop_.schedule_after(lead + cfg_.wqe_cost + qp_context_touch(qp->qpn),
+                         [this, qp, w] { execute(qp, w); });
     return;
   }
-  ++qp->sq_head;
-  ++counters_.wqes_executed;
-  loop_.schedule_after(cfg_.wqe_cost + qp_context_touch(qp->qpn),
-                       [this, qp, w] { execute(qp, w); });
 }
 
 sim::Duration Nic::qp_context_touch(uint32_t qpn) {
@@ -307,17 +319,42 @@ void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
     case Opcode::kWriteImm:
     case Opcode::kSend: {
       const size_t total = size_t{w.d.length} + w.d.aux_length;
-      p.payload.resize_uninit(total);
-      if (w.d.length > 0) {
-        mem_.read(w.d.local_addr, p.payload.data(), w.d.length);
-      }
-      if (w.d.aux_length > 0) {
-        mem_.read(w.d.aux_addr, p.payload.data() + w.d.length, w.d.aux_length);
+      if ((w.d.flags & kWqeFlagZeroCopy) != 0 && op != Opcode::kSend &&
+          w.d.aux_length == 0 && w.d.length > 0) {
+        // Chain-forward fast path: alias the region bytes instead of
+        // memcpy'ing them into the packet. The borrow materializes
+        // (copy-on-write) if anything overwrites the region while the
+        // packet — or its retransmit-window / response-cache sharers —
+        // is still live.
+        p.payload = mem_.borrow_payload(w.d.local_addr, w.d.length);
+      } else {
+        p.payload.resize_uninit(total);
+        if (w.d.length > 0) {
+          mem_.read(w.d.local_addr, p.payload.data(), w.d.length);
+        }
+        if (w.d.aux_length > 0) {
+          mem_.read(w.d.aux_addr, p.payload.data() + w.d.length,
+                    w.d.aux_length);
+        }
+        if (op != Opcode::kSend) {
+          // Data-plane gather (SENDs carry control-plane descriptor
+          // blobs and are excluded from the copy-discipline gate).
+          PayloadBuf::add_bytes_copied(total);
+          counters_.payload_bytes_copied += total;
+        }
       }
       p.length = static_cast<uint32_t>(total);
       p.type = op == Opcode::kWrite      ? Packet::Type::kWrite
                : op == Opcode::kWriteImm ? Packet::Type::kWriteImm
                                          : Packet::Type::kSend;
+      // Plain WRITEs only: WRITE_IMM must respond (the immediate drives
+      // the client's completion path) and SENDs complete a RECV.
+      if (op == Opcode::kWrite && (w.d.flags & kWqeFlagAckElide) != 0) {
+        p.flags |= kPacketFlagAckElide;
+      }
+      // Charged either way: the simulated DMA engine still streams
+      // `total` bytes — zero-copy removes the real memmove, not the
+      // modeled gather time (keeps latencies and determinism identical).
       gather_cost = dma_cost(total);
       break;
     }
@@ -344,8 +381,9 @@ void Nic::execute_remote(QueuePair* qp, const Wqe& w) {
   counters_.bytes_tx += p.wire_bytes();
   net_.transmit(std::move(p));
   // The engine pipelines: the next WQE may transmit before this one is
-  // ACKed (RC ordering is preserved by per-port FIFO serialization).
-  loop_.schedule_after(gather_cost, [this, qp] { engine_step(qp); });
+  // ACKed (RC ordering is preserved by per-port FIFO serialization). The
+  // gather occupancy rides into the next WQE's schedule as `lead`.
+  engine_step(qp, gather_cost);
 }
 
 void Nic::local_completion(QueuePair* qp, const Wqe& w, CqStatus status,
@@ -485,8 +523,20 @@ void Nic::responder_write(Packet& p) {
     status = CqStatus::kRemoteAccessError;
     ++counters_.remote_access_errors;
   } else if (!p.payload.empty()) {
+    // The mandatory sink DMA-out: one copy per replica's region.
     mem_.write(p.remote_addr, p.payload.data(), p.payload.size());
+    PayloadBuf::add_bytes_copied(p.payload.size());
+    counters_.payload_bytes_copied += p.payload.size();
     after_dma_write(p.remote_addr, p.payload.size());
+  }
+  // Elided success ACK: the next non-elided response on this QP (the
+  // chain trio's FLUSH ReadResp) acknowledges this PSN cumulatively.
+  // Errors always respond — the requester must learn the status. Nothing
+  // enters the response cache for an elided PSN; a retransmitted elided
+  // WRITE replays nothing, and the retransmitted FLUSH behind it replays
+  // its cached ReadResp, which re-acknowledges the whole window prefix.
+  if (status == CqStatus::kSuccess && (p.flags & kPacketFlagAckElide) != 0) {
+    return;
   }
   send_response(p, Packet::Type::kAck, {}, static_cast<uint8_t>(status));
 }
@@ -505,6 +555,8 @@ void Nic::responder_read(Packet& p) {
   } else {
     data.resize_uninit(p.length);
     mem_.read(p.remote_addr, data.data(), p.length);
+    PayloadBuf::add_bytes_copied(p.length);
+    counters_.payload_bytes_copied += p.length;
   }
   send_response(p, Packet::Type::kReadResp, std::move(data),
                 static_cast<uint8_t>(status));
@@ -567,22 +619,39 @@ void Nic::requester_response(Packet& p) {
     if (t.pkt.wr_seq == p.wr_seq) {
       matched = true;
       done = std::move(t);
+    } else if (t.wr.signaled && q->send_cq != nullptr &&
+               (t.pkt.type == Packet::Type::kWrite ||
+                t.pkt.type == Packet::Type::kWriteImm ||
+                t.pkt.type == Packet::Type::kSend)) {
+      // Retired by a cumulative response (its own ACK was elided or
+      // lost): the responder processed it in order, so it succeeded.
+      // WRITE/SEND carry no response data, so a success CQE is the whole
+      // completion. READ/CAS responses carry data — those stay
+      // completion-less here and are recovered by retransmission.
+      Cqe c;
+      c.wr_id = t.wr.wr_id;
+      c.qpn = q->qpn;
+      c.opcode = t.wr.opcode;
+      c.status = CqStatus::kSuccess;
+      c.byte_len = t.wr.byte_len;
+      q->send_cq->push(c);
     }
     q->unacked.pop_front();
     progressed = true;
   }
   if (progressed) {
     q->retry_rounds = 0;
-    if (q->unacked.empty()) {
-      if (q->retry_timer != 0) {
-        loop_.cancel(q->retry_timer);
-        q->retry_timer = 0;
+    if (!q->unacked.empty()) {
+      // Lazy timer: progress only moves the staleness horizon to the new
+      // window head. A pending timer re-parks itself when it fires early.
+      q->retry_deadline = q->unacked.front().sent + cfg_.retransmit_timeout;
+      if (q->retry_timer == 0) {
+        // Timer was parked after exhausting the retry budget; progress
+        // means the responder is alive again, so resume guarding.
+        arm_retry_timer(q);
       }
-    } else if (q->retry_timer == 0) {
-      // Timer was parked after exhausting the retry budget; progress
-      // means the responder is alive again, so resume guarding.
-      arm_retry_timer(q);
     }
+    // Window empty: let any pending timer expire as a no-op.
   }
   if (!matched) return;  // duplicate/stale response
 
@@ -590,11 +659,15 @@ void Nic::requester_response(Packet& p) {
   if (status == CqStatus::kSuccess) {
     if (p.type == Packet::Type::kReadResp && !p.payload.empty()) {
       mem_.write(done.wr.land_addr, p.payload.data(), p.payload.size());
+      PayloadBuf::add_bytes_copied(p.payload.size());
+      counters_.payload_bytes_copied += p.payload.size();
       after_dma_write(done.wr.land_addr, p.payload.size());
     } else if (p.type == Packet::Type::kCasResp) {
       assert(p.payload.size() == 8);
       if (done.wr.land_addr != 0) {
         mem_.write(done.wr.land_addr, p.payload.data(), 8);
+        PayloadBuf::add_bytes_copied(8);
+        counters_.payload_bytes_copied += 8;
         after_dma_write(done.wr.land_addr, 8);
       }
     }
@@ -660,20 +733,27 @@ void Nic::track_request(QueuePair* qp, const Packet& p, const PendingWr& wr) {
   t.pkt = p;  // payload buffer is refcounted, not copied
   t.wr = wr;
   qp->unacked.push_back(std::move(t));
+  if (qp->unacked.size() == 1) {
+    qp->retry_deadline = loop_.now() + retry_interval(qp->retry_rounds);
+  }
   if (qp->retry_timer == 0) arm_retry_timer(qp);
 }
 
-void Nic::arm_retry_timer(QueuePair* qp) {
+sim::Duration Nic::retry_interval(uint32_t rounds) const {
   // Capped exponential backoff: double the interval per consecutive
   // no-progress round.
-  const uint32_t shift = std::min<uint32_t>(qp->retry_rounds, 20);
+  const uint32_t shift = std::min<uint32_t>(rounds, 20);
   sim::Duration interval = cfg_.retransmit_timeout << shift;
   if (interval > cfg_.max_retransmit_backoff ||
       interval < cfg_.retransmit_timeout) {  // shift overflow guard
     interval = cfg_.max_retransmit_backoff;
   }
-  qp->retry_timer = loop_.schedule_after(
-      interval, [this, qpn = qp->qpn] { retry_fire(qpn); });
+  return interval;
+}
+
+void Nic::arm_retry_timer(QueuePair* qp) {
+  qp->retry_timer = loop_.schedule_at(
+      qp->retry_deadline, [this, qpn = qp->qpn] { retry_fire(qpn); });
 }
 
 void Nic::retry_fire(uint32_t qpn) {
@@ -681,7 +761,15 @@ void Nic::retry_fire(uint32_t qpn) {
   if (q == nullptr) return;
   q->retry_timer = 0;
   if (q->unacked.empty()) {
+    // Fully acknowledged since the timer was armed; the timer simply
+    // expires. The next track_request arms a fresh one.
     q->retry_rounds = 0;
+    return;
+  }
+  if (loop_.now() < q->retry_deadline) {
+    // ACK progress pushed the horizon out while this timer was pending:
+    // re-park at the new deadline instead of walking the window.
+    arm_retry_timer(q);
     return;
   }
   const sim::Time stale_before = loop_.now() - cfg_.retransmit_timeout;
@@ -696,9 +784,11 @@ void Nic::retry_fire(uint32_t qpn) {
       net_.transmit(t.pkt);
     }
     ++q->retry_rounds;
+    q->retry_deadline = loop_.now() + retry_interval(q->retry_rounds);
   } else {
-    // The window head made progress since the timer was armed.
+    // The window head made progress since the deadline was set.
     q->retry_rounds = 0;
+    q->retry_deadline = q->unacked.front().sent + cfg_.retransmit_timeout;
   }
   if (cfg_.rnr_retry_limit == 0 || q->retry_rounds < cfg_.rnr_retry_limit) {
     arm_retry_timer(q);

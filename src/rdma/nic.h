@@ -96,6 +96,12 @@ class Nic {
     uint64_t invalid_qp_drops = 0;  ///< packets for destroyed/unknown QPNs
     uint64_t qp_cache_misses = 0;
     uint64_t qp_cache_hits = 0;
+    /// Data-plane payload bytes this NIC memcpy'd between HostMemory and
+    /// packet buffers (WRITE/READ gathers unless zero-copy borrowed, sink
+    /// DMA-out writes, response landings). SEND descriptor blobs excluded.
+    /// The global cross-NIC total (incl. borrow materializations) is
+    /// PayloadBuf::bytes_copied().
+    uint64_t payload_bytes_copied = 0;
   };
 
   Nic(sim::EventLoop& loop, Network& net, HostMemory& mem,
@@ -190,7 +196,12 @@ class Nic {
  private:
   // --- send-side engine ---
   void kick(QueuePair* qp);
-  void engine_step(QueuePair* qp);
+  // Examines the head WQE synchronously and schedules its execution at
+  // now + lead + wqe_cost (+ context fetch); consumes satisfied WAITs
+  // inline. `lead` is the residual occupancy of whatever just finished
+  // (payload gather, local DMA), so fusing the step into the caller's
+  // event leaves execution timestamps unchanged.
+  void engine_step(QueuePair* qp, sim::Duration lead = 0);
   void execute(QueuePair* qp, const Wqe& w);
   void execute_local(QueuePair* qp, const Wqe& w);
   void execute_remote(QueuePair* qp, const Wqe& w);
@@ -224,8 +235,15 @@ class Nic {
 
   // --- RC transport ---
   // Records the outgoing request in the QP's retransmit window (with its
-  // completion bookkeeping) and arms the timer.
+  // completion bookkeeping) and arms the lazy retry timer.
   void track_request(QueuePair* qp, const Packet& p, const PendingWr& wr);
+  // Current backoff interval for a QP that has seen `rounds` consecutive
+  // no-progress retransmission rounds (capped exponential).
+  sim::Duration retry_interval(uint32_t rounds) const;
+  // Schedules retry_fire at the QP's current retry_deadline. The timer is
+  // lazy: ACK progress just moves the deadline field, and a timer that
+  // fires before it re-parks itself instead of being cancelled/re-armed
+  // per acknowledged window.
   void arm_retry_timer(QueuePair* qp);
   void retry_fire(uint32_t qpn);
   // Responder-side PSN gate; returns true if the packet should be

@@ -16,6 +16,14 @@ namespace hyperloop::rdma {
 /// Identifies a NIC on the fabric.
 using NicId = uint32_t;
 
+/// Packet::flags bits.
+enum PacketFlags : uint8_t {
+  /// Request asks the responder to skip the standalone success ACK; a
+  /// later cumulative response (ReadResp/ACK at a higher PSN on the same
+  /// QP) acknowledges it. Error responses are never elided.
+  kPacketFlagAckElide = 1u << 0,
+};
+
 struct Packet {
   enum class Type : uint8_t {
     kSend,      ///< two-sided send; consumes a RECV at the destination
@@ -52,6 +60,7 @@ struct Packet {
   uint64_t compare = 0;
   uint64_t swap = 0;
   uint8_t status = 0;  ///< responses: CqStatus
+  uint8_t flags = 0;   ///< PacketFlags bitmask
 
   /// Pooled and refcounted: copying a Packet (retransmit window, response
   /// cache, in-flight delivery) shares one block instead of copying bytes.

@@ -12,6 +12,21 @@
 // list instead of the allocator. The simulation is single-threaded (one
 // EventLoop drives all NICs), so refcounts and pool free lists are plain
 // integers/pointers — no atomics.
+//
+// Two zero-copy extensions keep large payloads single-copy end to end:
+//
+//  * slice(off, len) — a sub-range view sharing the parent block
+//    (refcount bump, no bytes move). Handles carry an (offset, length)
+//    window over the block, so a slice is just a narrower window.
+//
+//  * borrow(...) — wraps an existing HostMemory extent without copying:
+//    the block points at the arena bytes and registers itself with the
+//    arena's BorrowRegistry. Before any overlapping arena mutation (or
+//    arena teardown) the registry *materializes* the block — one memcpy
+//    of the old bytes into the block's own pool storage (acquired up
+//    front, so materialization never allocates). Until then every
+//    sharer — the in-flight packet, the retransmit window, the response
+//    cache — reads the arena directly.
 #pragma once
 
 #include <cstddef>
@@ -24,22 +39,32 @@ namespace hyperloop::rdma {
 /// fill the buffer before sharing it; after that, treat contents as
 /// immutable (all sharers observe the same block).
 class PayloadBuf {
+  struct Block;
+
  public:
+  class BorrowRegistry;
+
   PayloadBuf() = default;
-  PayloadBuf(const PayloadBuf& o) : b_(o.b_) {
+  PayloadBuf(const PayloadBuf& o) : b_(o.b_), off_(o.off_), len_(o.len_) {
     if (b_ != nullptr) ++b_->refs;
   }
-  PayloadBuf(PayloadBuf&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  PayloadBuf(PayloadBuf&& o) noexcept : b_(o.b_), off_(o.off_), len_(o.len_) {
+    o.b_ = nullptr;
+  }
   PayloadBuf& operator=(const PayloadBuf& o) {
     if (o.b_ != nullptr) ++o.b_->refs;
     release();
     b_ = o.b_;
+    off_ = o.off_;
+    len_ = o.len_;
     return *this;
   }
   PayloadBuf& operator=(PayloadBuf&& o) noexcept {
     if (this != &o) {
       release();
       b_ = o.b_;
+      off_ = o.off_;
+      len_ = o.len_;
       o.b_ = nullptr;
     }
     return *this;
@@ -57,11 +82,30 @@ class PayloadBuf {
   /// Drops this reference (block returns to the pool when unshared).
   void reset() { release(); }
 
-  uint8_t* data() { return b_ == nullptr ? nullptr : block_data(b_); }
-  const uint8_t* data() const {
-    return b_ == nullptr ? nullptr : block_data(b_);
+  /// A view of [off, off+len) of this buffer, sharing the block: no
+  /// bytes move, the parent handle may be released before the slice.
+  PayloadBuf slice(size_t off, size_t len) const;
+
+  /// Wraps `len` bytes of a HostMemory arena (`src` = live pointer,
+  /// `addr` = arena address) without copying. Pool storage for `len`
+  /// bytes is acquired now so the later copy-on-write materialization
+  /// is a pure memcpy. The registry materializes the block before any
+  /// overlapping arena store and on arena teardown, so sharers never
+  /// observe torn or future bytes.
+  static PayloadBuf borrow(BorrowRegistry& reg, const uint8_t* src,
+                           uint64_t addr, size_t len);
+
+  uint8_t* data() {
+    // Borrowed blocks alias arena bytes that only the arena may mutate;
+    // this non-const accessor exists for the fill-after-resize pattern,
+    // which never runs on a borrowed block.
+    return b_ == nullptr ? nullptr
+                         : const_cast<uint8_t*>(block_bytes(b_)) + off_;
   }
-  size_t size() const { return b_ == nullptr ? 0 : b_->size; }
+  const uint8_t* data() const {
+    return b_ == nullptr ? nullptr : block_bytes(b_) + off_;
+  }
+  size_t size() const { return b_ == nullptr ? 0 : len_; }
   bool empty() const { return size() == 0; }
 
   /// True when both handles reference the same underlying block.
@@ -71,6 +115,10 @@ class PayloadBuf {
 
   /// Number of handles sharing this block (0 for an empty handle).
   uint32_t ref_count() const { return b_ == nullptr ? 0 : b_->refs; }
+
+  /// True while the block still aliases arena bytes (not yet
+  /// materialized into its own storage).
+  bool borrowed() const { return b_ != nullptr && b_->ext != nullptr; }
 
   // --- pool introspection (perf gates / tests) ---
   /// Blocks ever obtained from the allocator (pool misses).
@@ -82,20 +130,83 @@ class PayloadBuf {
   /// Frees all pooled blocks (test isolation).
   static void pool_trim();
 
+  // --- copy discipline (perf gates / tests) ---
+  /// Global count of payload bytes memcpy'd between HostMemory and a
+  /// payload block on the data plane: WRITE/READ gathers, sink DMA-out
+  /// writes, response landings, and borrow materializations. Charged by
+  /// Nic/HostMemory via add_bytes_copied; SEND scatter/gather (control
+  /// plane descriptors) is excluded. Tests gate on deltas of this.
+  static uint64_t bytes_copied();
+  static void add_bytes_copied(uint64_t n);
+
+  /// Tracks the borrowed blocks aliasing one HostMemory arena, with a
+  /// monotone bounding box for O(1) miss rejection. Owned by the arena;
+  /// declared after the byte storage so its destructor (materialize_all)
+  /// runs while the arena bytes are still valid.
+  class BorrowRegistry {
+   public:
+    BorrowRegistry() = default;
+    BorrowRegistry(const BorrowRegistry&) = delete;
+    BorrowRegistry& operator=(const BorrowRegistry&) = delete;
+    ~BorrowRegistry() { materialize_all(); }
+
+    /// Copies every borrow overlapping [addr, addr+len) into its own
+    /// storage. Call BEFORE mutating the arena range so the borrows
+    /// keep the pre-mutation bytes. The no-borrow / outside-the-box
+    /// reject stays inline: this sits on every HostMemory store, and
+    /// in steady state the registry is almost always empty.
+    void materialize_range(uint64_t addr, size_t len) {
+      if (head_ == nullptr || addr >= hi_ || addr + len <= lo_) return;
+      materialize_overlapping(addr, len);
+    }
+    /// Materializes everything (arena teardown / crash restore).
+    void materialize_all();
+
+    bool empty() const { return head_ == nullptr; }
+    /// Live borrowed blocks (tests).
+    size_t live() const;
+
+   private:
+    friend class PayloadBuf;
+    void materialize_overlapping(uint64_t addr, size_t len);
+    Block* head_ = nullptr;
+    // Bounding box over live borrows; grows monotonically, resets when
+    // the list drains. A store outside [lo_, hi_) cannot overlap any
+    // borrow, which keeps the common HostMemory::write test O(1).
+    uint64_t lo_ = ~uint64_t{0};
+    uint64_t hi_ = 0;
+  };
+
  private:
   struct Block {
     uint32_t refs;
     uint32_t size;
     uint8_t size_class;
     Block* next_free;
+    // Borrow state: while `ext` is non-null the payload bytes live in a
+    // HostMemory arena at `ext` (arena address `ext_addr`) and the block
+    // sits on its registry's intrusive list.
+    const uint8_t* ext;
+    uint64_t ext_addr;
+    Block* borrow_next;
+    Block* borrow_prev;
+    BorrowRegistry* registry;
   };
-  // Payload bytes live immediately after the header.
+  // Payload bytes: the arena extent while borrowed, own storage after.
+  static const uint8_t* block_bytes(const Block* b) {
+    return b->ext != nullptr ? b->ext
+                             : reinterpret_cast<const uint8_t*>(b + 1);
+  }
   static uint8_t* block_data(Block* b) {
     return reinterpret_cast<uint8_t*>(b + 1);
   }
 
   static Block* acquire(size_t n);
   static void release_block(Block* b);
+  /// Copies the arena bytes into the block's own storage and unlinks it
+  /// from the registry (charged to bytes_copied).
+  static void materialize(Block* b);
+  static void unlink_borrow(Block* b);
 
   void release() {
     if (b_ != nullptr) {
@@ -105,6 +216,10 @@ class PayloadBuf {
   }
 
   Block* b_ = nullptr;
+  // View window over the block (slices narrow it; whole-block handles
+  // have off_ == 0, len_ == b_->size).
+  uint32_t off_ = 0;
+  uint32_t len_ = 0;
 };
 
 }  // namespace hyperloop::rdma

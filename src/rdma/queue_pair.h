@@ -117,6 +117,11 @@ struct QueuePair {
   /// Consecutive retransmission rounds without ACK progress; drives the
   /// capped exponential backoff and the receiver-not-ready retry budget.
   uint32_t retry_rounds = 0;
+  /// Absolute time at which the current window head goes stale. The retry
+  /// timer is lazy: ACK progress only moves this horizon (a field write);
+  /// a pending timer that fires early re-arms itself at the horizon
+  /// instead of being cancelled and re-created per acknowledged window.
+  sim::Time retry_deadline = 0;
   /// Responder: direct-mapped replay ring of recent responses indexed by
   /// psn % kRespCacheEntries; sized lazily on first response so
   /// requester-only QPs never pay for it.

@@ -34,6 +34,24 @@ enum class Opcode : uint8_t {
 
 const char* opcode_name(Opcode op);
 
+/// WqeDescriptor::flags bits.
+enum WqeFlags : uint8_t {
+  /// Gather the payload as a zero-copy borrow of the local region
+  /// instead of memcpy'ing it into the packet (kWrite/kWriteImm, single
+  /// gather segment). Set on chain-forwarding WQEs, whose local bytes
+  /// were DMA-written by the upstream hop and retire before reuse; the
+  /// client-issue WQE keeps the copy (the mandatory source DMA-in).
+  kWqeFlagZeroCopy = 1u << 0,
+  /// Suppress the responder's standalone ACK for this WRITE (success path
+  /// only; errors always respond). Set on chain-trio data WRITEs, which
+  /// are immediately followed by a FLUSH (0-byte READ) on the same QP:
+  /// the FLUSH's ReadResp acknowledges the WRITE cumulatively, so the
+  /// standalone ACK only burns a packet. Completion still arrives — the
+  /// requester posts success CQEs for every entry a cumulative response
+  /// retires.
+  kWqeFlagAckElide = 1u << 1,
+};
+
 /// The remotely patchable part of a WQE. Contiguous and trivially
 /// copyable so a RECV scatter entry can overwrite it byte-for-byte.
 struct WqeDescriptor {
@@ -49,7 +67,8 @@ struct WqeDescriptor {
   uint32_t imm = 0;      ///< immediate data (kWriteImm)
   uint8_t opcode = 0;    ///< Opcode, as a byte so patches stay POD
   uint8_t active = 1;    ///< ownership: 0 = driver holds, 1 = NIC may execute
-  uint16_t pad = 0;
+  uint8_t flags = 0;     ///< WqeFlags bitmask (kWqeFlagZeroCopy, ...)
+  uint8_t pad = 0;
 };
 static_assert(sizeof(WqeDescriptor) == 64, "descriptor layout is part of the wire format");
 

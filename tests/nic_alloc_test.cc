@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "core/hyperloop_group.h"
@@ -340,6 +341,75 @@ TEST(NicAllocTransaction, GroupCommitGwritevLapAllocatesNothing) {
   EXPECT_EQ(committed, 28u * 6u);
   EXPECT_EQ(wal.commit_latency().count(), committed);
   EXPECT_EQ(group.counters().gwritevs, wal.stats().gwritev_batches);
+}
+
+// The copy-discipline gate: a 64 KB gWRITE through a 3-replica chain
+// must move payload bytes exactly 1 + num_sinks times — one DMA-in
+// gather at the source NIC and one DMA-out into each sink's region.
+// The chain-forward hops borrow the bytes the upstream WRITE landed
+// (zero-copy), so the global PayloadBuf::bytes_copied() delta per op is
+// exact, not an upper bound: a reintroduced forward gather, an extra
+// staging copy, or an unexpected copy-on-write materialization all show
+// up as a precise mismatch. The lap must also stay allocation-free once
+// the 64 KB payload blocks are pooled.
+TEST(NicAllocTransaction, ChainedGwriteCopiesExactlyOncePerSink) {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    return c;
+  }()};
+  HyperLoopGroup::Config gc;
+  gc.region_size = 1 << 20;
+  gc.ring_slots = 64;
+  gc.max_inflight = 16;
+  std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                               &cluster.server(2)};
+  HyperLoopGroup group(cluster.server(3), reps, gc);
+
+  constexpr uint32_t kLen = 64 << 10;
+  std::vector<uint8_t> payload(kLen);
+  for (uint32_t i = 0; i < kLen; ++i) payload[i] = static_cast<uint8_t>(i * 7);
+  group.client_store(0, payload.data(), kLen);
+
+  int laps_done = 0;
+  auto lap = [&] {
+    group.gwrite(0, kLen, /*flush=*/true, [&] { ++laps_done; });
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(5));
+  };
+
+  for (int i = 0; i < 8; ++i) lap();
+  ASSERT_EQ(laps_done, 8);
+
+  const uint64_t bytes_before = rdma::PayloadBuf::bytes_copied();
+  const uint64_t client_before =
+      cluster.server(3).nic().counters().payload_bytes_copied;
+  const uint64_t r0_before =
+      cluster.server(0).nic().counters().payload_bytes_copied;
+  const uint64_t allocs_before = g_alloc_count;
+  lap();
+  ASSERT_EQ(laps_done, 9);
+  EXPECT_EQ(rdma::PayloadBuf::bytes_copied() - bytes_before,
+            uint64_t{kLen} * (1 + reps.size()))
+      << "a 64 KB chained gWRITE must copy exactly len * (1 + num_sinks)";
+  // Split per NIC: the source gathers once; a sink lands its DMA-out
+  // once and forwards by borrowing (no gather).
+  EXPECT_EQ(cluster.server(3).nic().counters().payload_bytes_copied -
+                client_before,
+            uint64_t{kLen});
+  EXPECT_EQ(cluster.server(0).nic().counters().payload_bytes_copied -
+                r0_before,
+            uint64_t{kLen});
+  EXPECT_EQ(g_alloc_count - allocs_before, 0u)
+      << "large-payload lap performed heap allocations";
+
+  // The bytes really replicated: every sink region matches the source.
+  std::vector<uint8_t> got(kLen);
+  for (size_t r = 0; r < reps.size(); ++r) {
+    group.replica_load(r, 0, got.data(), kLen);
+    ASSERT_EQ(std::memcmp(got.data(), payload.data(), kLen), 0)
+        << "replica " << r << " diverged";
+  }
 }
 
 }  // namespace

@@ -28,6 +28,12 @@ src/rdma/completion_queue.h
 src/rdma/completion_queue.cc
 src/rdma/queue_pair.h
 src/rdma/slot_table.h
+src/rdma/payload_buf.h
+src/rdma/payload_buf.cc
+src/rdma/memory.h
+src/rdma/memory.cc
+src/rdma/packet.h
+src/rdma/wqe.h
 "
 
 status=0
