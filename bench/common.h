@@ -18,6 +18,7 @@
 #include "core/hyperloop_group.h"
 #include "core/naive_group.h"
 #include "core/server.h"
+#include "core/sharded_group.h"
 #include "core/tcp_group.h"
 #include "stats/histogram.h"
 #include "stats/table.h"
@@ -42,11 +43,15 @@ inline core::ServerConfig testbed_server(int cores = 16) {
 }
 
 /// Builds `replicas` storage servers plus one client machine (the last).
+/// `num_nics` > 1 gives every server that many NICs (one per shard chain
+/// in the sharded experiments).
 inline std::unique_ptr<Cluster> make_cluster(int replicas, uint64_t seed,
-                                             int cores = 16) {
+                                             int cores = 16,
+                                             int num_nics = 1) {
   Cluster::Config cc;
   cc.num_servers = replicas + 1;
   cc.server = testbed_server(cores);
+  cc.server.num_nics = num_nics;
   cc.seed = seed;
   return std::make_unique<Cluster>(cc);
 }
@@ -139,6 +144,31 @@ inline std::unique_ptr<core::ReplicationGroup> make_group(
     }
   }
   return nullptr;
+}
+
+/// Builds a ShardedGroup of `shards` HyperLoop chains over servers
+/// 0..group_size-1, client = last server. Each chain gets its own NIC
+/// (nic_index = shard; build the cluster with num_nics >= shards) and
+/// sees the full logical region of shards * slice_size bytes (identity
+/// addressing); a range router with span = slice_size does the
+/// partitioning.
+inline std::unique_ptr<core::ShardedGroup> make_sharded_group(
+    Cluster& cluster, int group_size, uint32_t shards,
+    uint64_t slice_size = 1u << 20) {
+  std::vector<Server*> reps;
+  for (int i = 0; i < group_size; ++i) reps.push_back(&cluster.server(i));
+  Server& client = cluster.server(cluster.size() - 1);
+  std::vector<std::unique_ptr<core::ReplicationGroup>> kids;
+  for (uint32_t s = 0; s < shards; ++s) {
+    core::HyperLoopGroup::Config gc;
+    gc.region_size = slice_size * shards;
+    gc.ring_slots = 2048;  // same depth rationale as make_group
+    gc.max_inflight = 64;
+    gc.nic_index = s;
+    kids.push_back(std::make_unique<core::HyperLoopGroup>(client, reps, gc));
+  }
+  return std::make_unique<core::ShardedGroup>(
+      std::move(kids), core::ShardRouter::range(shards, slice_size));
 }
 
 /// Runs a closed-loop latency benchmark: `ops` sequential operations, each

@@ -20,6 +20,14 @@ Both dumps must carry context.binary_build_type == "release" (stamped by
 perf_selfcheck's main from NDEBUG): a debug-built side makes every delta
 meaningless, so the comparison fails outright instead of "passing" a
 bogus 10x regression or improvement.
+
+Sharded-scaling gate: when the candidate carries BM_ShardedThroughput
+results, the 4-shard run's sim_items_per_sec counter (simulated-time
+throughput: committed ops / simulated seconds) must be at least
+--shard-scaling (default 1.8) times the 1-shard run's. This is the
+ISSUE-8 claim — K independent chains beat one chain's latency-bound
+group-commit ceiling — checked on the candidate alone, in simulated
+time, so it is immune to wall-clock noise.
 """
 
 import argparse
@@ -32,6 +40,7 @@ def load_items_per_second(path):
         data = json.load(f)
     build_type = data.get("context", {}).get("binary_build_type")
     out = {}
+    counters = {}
     for bm in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bm.get("run_type") == "aggregate":
@@ -39,7 +48,38 @@ def load_items_per_second(path):
         ips = bm.get("items_per_second")
         if ips:
             out[bm["name"]] = float(ips)
-    return out, build_type
+        # User counters land as extra numeric fields on the benchmark row.
+        for key in ("sim_items_per_sec",):
+            if key in bm:
+                counters.setdefault(bm["name"], {})[key] = float(bm[key])
+    return out, counters, build_type
+
+
+def check_shard_scaling(counters, min_ratio):
+    """Gates the 4-shard/1-shard simulated-throughput ratio.
+
+    Returns an error string, or None. Enforced only when both
+    BM_ShardedThroughput/1 and /4 are present (older dumps predate the
+    bench); a dump that has the benches but lost the counter is an error,
+    not a silent pass.
+    """
+    one = counters.get("BM_ShardedThroughput/1")
+    four = counters.get("BM_ShardedThroughput/4")
+    if one is None or four is None:
+        return None
+    try:
+        ratio = four["sim_items_per_sec"] / one["sim_items_per_sec"]
+    except KeyError:
+        return ("BM_ShardedThroughput present but missing the "
+                "sim_items_per_sec counter — stale perf_selfcheck binary?")
+    print(f"\nsharded scaling: 4-shard {four['sim_items_per_sec']:.0f} / "
+          f"1-shard {one['sim_items_per_sec']:.0f} sim items/s "
+          f"= {ratio:.2f}x (floor {min_ratio:.2f}x)")
+    if ratio < min_ratio:
+        return (f"4-shard simulated throughput is only {ratio:.2f}x the "
+                f"1-shard run (floor {min_ratio:.2f}x) — sharding no "
+                f"longer scales past the single-chain ceiling")
+    return None
 
 
 def check_provenance(path, build_type):
@@ -69,10 +109,13 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed fractional drop in items_per_second")
+    ap.add_argument("--shard-scaling", type=float, default=1.8,
+                    help="min candidate 4-shard/1-shard sim_items_per_sec "
+                         "ratio for BM_ShardedThroughput")
     args = ap.parse_args()
 
-    base, base_build = load_items_per_second(args.baseline)
-    cand, cand_build = load_items_per_second(args.candidate)
+    base, _, base_build = load_items_per_second(args.baseline)
+    cand, cand_counters, cand_build = load_items_per_second(args.candidate)
     provenance = [err for err in (check_provenance(args.baseline, base_build),
                                   check_provenance(args.candidate, cand_build))
                   if err]
@@ -102,11 +145,18 @@ def main():
         print(f"{name:<{width}} {base[name]:>14.0f} {cand[name]:>14.0f} "
               f"{delta:>+7.1%}{flag}")
 
+    scaling_err = check_shard_scaling(cand_counters, args.shard_scaling)
+
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%}:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
+        if scaling_err:
+            print(f"FAIL: {scaling_err}")
+        return 1
+    if scaling_err:
+        print(f"\nFAIL: {scaling_err}")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
     return 0

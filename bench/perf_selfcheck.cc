@@ -4,6 +4,8 @@
 // to run (the DES must sustain millions of events per second).
 #include <benchmark/benchmark.h>
 
+#include "apps/kvstore/kvstore.h"
+#include "apps/ycsb/driver.h"
 #include "apps/ycsb/workload.h"
 #include "bench/common.h"
 #include "core/region_layout.h"
@@ -423,6 +425,69 @@ void BM_WalAppendBatched(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WalAppendBatched);
+
+// Aggregate replication throughput across independent chains (DESIGN.md
+// "Sharded datapath"): a sharded KvStore over K HyperLoop chains, one
+// NIC per chain, driven by a pipelined update-heavy uniform workload.
+// The scaling claim lives in *simulated* time — each chain's WAL keeps
+// one group-commit batch outstanding (latency-bound), so K independent
+// chains commit ~K times the records per simulated second. The usual
+// wall-clock items_per_second still guards simulator cost; the
+// sim_items_per_sec counter carries the scaling signal, and
+// compare_selfcheck.py gates BM_ShardedThroughput/4 at >= 1.8x
+// BM_ShardedThroughput/1 on it.
+void BM_ShardedThroughput(benchmark::State& state) {
+  using namespace hyperloop::bench;
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kSlice = 1u << 20;
+  auto cluster =
+      make_cluster(3, 42, 16, /*num_nics=*/static_cast<int>(shards));
+  auto group = make_sharded_group(*cluster, 3, shards, kSlice);
+  std::vector<core::Server*> reps;
+  for (int i = 0; i < 3; ++i) reps.push_back(&cluster->server(i));
+
+  apps::KvStore::Config kc;
+  kc.layout.region_size = kSlice;  // one slice; the group spans K of them
+  kc.layout.log_size = 256u << 10;
+  kc.layout.num_locks = 16;
+  kc.shards = shards;
+  kc.value_size = 128;
+  kc.replicas_sync = false;
+  apps::KvStore kv(*group, cluster->server(3), reps, kc);
+  constexpr uint64_t kRecords = 2048;
+  kv.bulk_load(kRecords);
+  cluster->loop().run_until(cluster->loop().now() + sim::msec(100));
+
+  apps::WorkloadSpec spec;  // update-heavy, uniform: every chain loaded
+  spec.read = 0.05;
+  spec.update = 0.95;
+  spec.dist = apps::WorkloadSpec::KeyDist::kUniform;
+  spec.value_size = 128;
+
+  uint64_t ops_done = 0;
+  sim::Duration sim_elapsed = 0;
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    apps::WorkloadGenerator gen(spec, kRecords, sim::Rng(seed++));
+    apps::YcsbDriver::Config dc;
+    dc.threads = 8;
+    dc.batch = 8;  // 64 outstanding: enough demand to load 4 chains
+    dc.total_ops = 2000;
+    apps::YcsbDriver driver(cluster->loop(), kv, gen, dc);
+    bool finished = false;
+    const sim::Time t0 = cluster->loop().now();
+    driver.start([&] { finished = true; });
+    while (!finished) {
+      cluster->loop().run_until(cluster->loop().now() + sim::usec(200));
+    }
+    sim_elapsed += cluster->loop().now() - t0;
+    ops_done += driver.completed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops_done));
+  state.counters["sim_items_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops_done) / sim::to_sec(sim_elapsed));
+}
+BENCHMARK(BM_ShardedThroughput)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_IntervalSetChurn(benchmark::State& state) {
   nvm::IntervalSet s;

@@ -9,12 +9,27 @@ namespace hyperloop::apps {
 
 DocStore::DocStore(core::ReplicationGroup& group, core::Server& client,
                    Config cfg)
-    : group_(group),
-      client_(client),
-      cfg_(cfg),
-      wal_(group, cfg.layout, cfg.wal),
-      locks_(group, cfg.layout, client.loop()),
-      txns_(group, wal_, locks_, client.loop()) {
+    : group_(group), client_(client), cfg_(cfg) {
+  assert(cfg_.shards >= 1);
+  assert(cfg_.layout.base == 0 && "pass the shard-0 slice layout");
+  // Replica reads address one replica's whole region; with shards the
+  // slots live in per-shard slices served by different chains, which the
+  // single RemoteReader does not span.
+  assert((!cfg_.read_from_replica || cfg_.shards == 1) &&
+         "replica reads are single-shard only");
+  shards_.reserve(cfg_.shards);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    Shard sh;
+    sh.layout = cfg_.layout.shard_slice(s);
+    sh.wal = std::make_unique<core::ReplicatedWal>(group, sh.layout, cfg_.wal);
+    sh.locks =
+        std::make_unique<core::GroupLockManager>(group, sh.layout,
+                                                 client.loop());
+    sh.txns = std::make_unique<core::TransactionManager>(group, *sh.wal,
+                                                         *sh.locks,
+                                                         client.loop());
+    shards_.push_back(std::move(sh));
+  }
   client_pid_ = client_.sched().create_process(client_.name() + "-doc-fe");
 }
 
@@ -31,14 +46,18 @@ std::vector<uint8_t> DocStore::encode_doc(
 
 void DocStore::write_doc(uint64_t key, std::vector<uint8_t> value,
                          Done done) {
-  // Front-end CPU first, then the offloaded transaction.
+  // Front-end CPU first, then the offloaded transaction on the owning
+  // shard's lock table + oplog.
   client_.sched().submit(
       client_pid_, cfg_.op_cpu,
       [this, key, value = std::move(value), done = std::move(done)]() mutable {
+        Shard& sh = shards_[shard_of(key)];
         std::vector<core::ReplicatedWal::Entry> writes;
         writes.push_back({slot_offset(key), encode_doc(key, value)});
-        txns_.execute(std::move(writes), {stripe(key)},
-                      [done = std::move(done)](bool ok) mutable { done(ok); });
+        sh.txns->execute(std::move(writes), {stripe(key)},
+                         [done = std::move(done)](bool ok) mutable {
+                           done(ok);
+                         });
       });
 }
 
@@ -51,8 +70,9 @@ void DocStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
 }
 
 void DocStore::finish_read(uint64_t key, ReadDone done) {
+  const Shard& sh = shards_[shard_of(key)];
   if (cfg_.read_from_replica && reader_ != nullptr) {
-    reader_->read(cfg_.layout.db_base() + slot_offset(key),
+    reader_->read(sh.layout.db_base() + slot_offset(key),
                   static_cast<uint32_t>(slot_stride()),
                   [done = std::move(done)](std::vector<uint8_t> doc) mutable {
                     uint32_t len = 0;
@@ -67,13 +87,13 @@ void DocStore::finish_read(uint64_t key, ReadDone done) {
     return;
   }
   uint32_t len = 0;
-  group_.client_load(cfg_.layout.db_base() + slot_offset(key) + 8, &len, 4);
+  group_.client_load(sh.layout.db_base() + slot_offset(key) + 8, &len, 4);
   if (len == 0 || len > cfg_.value_size) {
     done(false, {});
     return;
   }
   std::vector<uint8_t> value(len);
-  group_.client_load(cfg_.layout.db_base() + slot_offset(key) + 16,
+  group_.client_load(sh.layout.db_base() + slot_offset(key) + 16,
                      value.data(), len);
   done(true, std::move(value));
 }
@@ -86,32 +106,35 @@ void DocStore::read(uint64_t key, ReadDone done) {
           finish_read(key, std::move(done));
           return;
         }
+        Shard& sh = shards_[shard_of(key)];
         const size_t replica =
             cfg_.read_from_replica ? cfg_.read_replica : 0;
-        locks_.rd_lock(stripe(key), replica,
-                       [this, key, replica, done = std::move(done)](bool ok) mutable {
-                         if (!ok) {
-                           done(false, {});
-                           return;
-                         }
-                         finish_read(
-                             key,
-                             [this, key, replica, done = std::move(done)](
-                                 bool ok2, std::vector<uint8_t> v) mutable {
-                               locks_.rd_unlock(
-                                   stripe(key), replica,
-                                   [done = std::move(done), ok2,
-                                    v = std::move(v)]() mutable {
-                                     done(ok2, std::move(v));
-                                   });
-                             });
-                       });
+        sh.locks->rd_lock(
+            stripe(key), replica,
+            [this, key, replica, done = std::move(done)](bool ok) mutable {
+              if (!ok) {
+                done(false, {});
+                return;
+              }
+              finish_read(
+                  key,
+                  [this, key, replica, done = std::move(done)](
+                      bool ok2, std::vector<uint8_t> v) mutable {
+                    shards_[shard_of(key)].locks->rd_unlock(
+                        stripe(key), replica,
+                        [done = std::move(done), ok2,
+                         v = std::move(v)]() mutable {
+                          done(ok2, std::move(v));
+                        });
+                  });
+            });
       });
 }
 
 void DocStore::scan(uint64_t key, int count, Done done) {
   // Scans read `count` consecutive documents from the local copy; charge
-  // per-document CPU (cursor iteration + marshalling).
+  // per-document CPU (cursor iteration + marshalling). Consecutive keys
+  // stripe across shards, so the cursor hops slices as it advances.
   const auto cpu =
       cfg_.op_cpu + sim::nsec(500) * static_cast<sim::Duration>(count);
   client_.sched().submit(client_pid_, cpu,
@@ -120,12 +143,13 @@ void DocStore::scan(uint64_t key, int count, Done done) {
                            for (int i = 0; i < count; ++i) {
                              uint32_t len = 0;
                              const uint64_t k = key + static_cast<uint64_t>(i);
+                             const Shard& sh = shards_[shard_of(k)];
                              if (slot_offset(k) + slot_stride() >
-                                 cfg_.layout.db_size()) {
+                                 sh.layout.db_size()) {
                                break;
                              }
                              group_.client_load(
-                                 cfg_.layout.db_base() + slot_offset(k) + 8,
+                                 sh.layout.db_base() + slot_offset(k) + 8,
                                  &len, 4);
                              if (len != 0) ++found;
                            }
@@ -149,15 +173,23 @@ void DocStore::bulk_load(uint64_t n) {
   for (uint64_t k = 0; k < n; ++k) {
     const auto doc =
         encode_doc(k, WorkloadGenerator::value_for(k, cfg_.value_size));
-    group_.client_store(cfg_.layout.db_base() + slot_offset(k), doc.data(),
+    const Shard& sh = shards_[shard_of(k)];
+    group_.client_store(sh.layout.db_base() + slot_offset(k), doc.data(),
                         static_cast<uint32_t>(doc.size()));
   }
-  const uint64_t total = n * slot_stride();
   const uint32_t chunk = 256 << 10;
-  for (uint64_t off = 0; off < total; off += chunk) {
-    const auto len =
-        static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
-    group_.gwrite(cfg_.layout.db_base() + off, len, /*flush=*/true, [] {});
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    // Keys stripe k % shards, so shard s holds ceil((n - s) / shards)
+    // loaded slots.
+    const uint64_t local =
+        s < n % cfg_.shards ? n / cfg_.shards + 1 : n / cfg_.shards;
+    const uint64_t total = local * slot_stride();
+    for (uint64_t off = 0; off < total; off += chunk) {
+      const auto len =
+          static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
+      group_.gwrite(shards_[s].layout.db_base() + off, len, /*flush=*/true,
+                    [] {});
+    }
   }
 }
 

@@ -9,6 +9,12 @@
 // Reads take a read lock on the primary's copy by default; an optional
 // RemoteReader serves reads from a chain replica (one-sided RDMA).
 //
+// Sharded mode (Config::shards > 1, DESIGN.md "Sharded datapath"): the
+// keyspace is partitioned key % shards, each shard owning its own region
+// slice with a full oplog + lock table + transaction manager of its own.
+// Under a ShardedGroup, every shard's transactions (locks, oplog, apply)
+// ride their own replication chain.
+//
 // Documents are fixed-stride slots in the DB area indexed by dense keys:
 // [key u64][len u32][pad u32][body].
 #pragma once
@@ -29,7 +35,11 @@ namespace hyperloop::apps {
 class DocStore : public StorageEngine {
  public:
   struct Config {
+    /// With shards == 1: the whole region. With shards > 1: the layout of
+    /// ONE slice (shard s uses layout.shard_slice(s)); the group's region
+    /// must cover shards * layout.region_size bytes.
     core::RegionLayout layout;
+    uint32_t shards = 1;
     uint32_t value_size = 1024;
     /// Front-end CPU per operation (parse, plan, marshal) — MongoDB's
     /// software stack cost, which the paper notes dominates what remains
@@ -63,16 +73,36 @@ class DocStore : public StorageEngine {
   /// and replicates it in large chunks.
   void bulk_load(uint64_t n);
 
-  core::ReplicatedWal& wal() { return wal_; }
-  core::TransactionManager& txns() { return txns_; }
-  core::GroupLockManager& locks() { return locks_; }
+  core::ReplicatedWal& wal() { return *shards_[0].wal; }
+  core::TransactionManager& txns() { return *shards_[0].txns; }
+  core::GroupLockManager& locks() { return *shards_[0].locks; }
+  core::ReplicatedWal& wal(size_t s) { return *shards_.at(s).wal; }
+  core::TransactionManager& txns(size_t s) { return *shards_.at(s).txns; }
+  core::GroupLockManager& locks(size_t s) { return *shards_.at(s).locks; }
   sim::ProcessId front_end_pid() const { return client_pid_; }
 
+  /// Which shard owns `key` (key % shards).
+  uint32_t shard_of(uint64_t key) const {
+    return static_cast<uint32_t>(key % cfg_.shards);
+  }
+
  private:
+  struct Shard {
+    core::RegionLayout layout;  ///< this shard's slice
+    std::unique_ptr<core::ReplicatedWal> wal;
+    std::unique_ptr<core::GroupLockManager> locks;
+    std::unique_ptr<core::TransactionManager> txns;
+  };
+
   uint64_t slot_stride() const { return 16 + cfg_.value_size; }
-  uint64_t slot_offset(uint64_t key) const { return key * slot_stride(); }
+  /// DB-area offset of `key`'s slot within its owning shard's slice
+  /// (keys stripe round-robin, so key k is local slot k / shards).
+  uint64_t slot_offset(uint64_t key) const {
+    return (key / cfg_.shards) * slot_stride();
+  }
   uint32_t stripe(uint64_t key) const {
-    return static_cast<uint32_t>(key % cfg_.layout.num_locks);
+    return static_cast<uint32_t>((key / cfg_.shards) %
+                                 cfg_.layout.num_locks);
   }
   std::vector<uint8_t> encode_doc(uint64_t key,
                                   const std::vector<uint8_t>& value) const;
@@ -82,9 +112,7 @@ class DocStore : public StorageEngine {
   core::ReplicationGroup& group_;
   core::Server& client_;
   Config cfg_;
-  core::ReplicatedWal wal_;
-  core::GroupLockManager locks_;
-  core::TransactionManager txns_;
+  std::vector<Shard> shards_;
   core::RemoteReader* reader_ = nullptr;
   sim::ProcessId client_pid_;
 };

@@ -10,11 +10,18 @@ namespace hyperloop::apps {
 KvStore::KvStore(core::ReplicationGroup& group, core::Server& client,
                  std::vector<core::Server*> replica_servers, Config cfg)
     : group_(group), client_(client), cfg_(cfg),
-      wal_(group, cfg.layout, cfg.wal) {
+      wal_(group, cfg.layout, cfg.shards, cfg.wal) {
+  assert(cfg_.shards >= 1);
+  assert(cfg_.layout.base == 0 && "pass the shard-0 slice layout");
   client_pid_ = client_.sched().create_process(client_.name() + "-kv");
+  shards_.resize(cfg_.shards);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    shards_[s].layout = cfg_.layout.shard_slice(s);
+  }
   replica_tables_.resize(replica_servers.size());
   for (size_t i = 0; i < replica_servers.size(); ++i) {
     replica_tables_[i].server = replica_servers[i];
+    replica_tables_[i].applied.assign(cfg_.shards, 0);
     if (cfg_.replicas_sync) {
       replica_tables_[i].pid = replica_servers[i]->sched().create_process(
           replica_servers[i]->name() + "-kv-sync");
@@ -36,56 +43,71 @@ std::vector<uint8_t> KvStore::encode_slot(
   return slot;
 }
 
-void KvStore::put(uint64_t key, std::vector<uint8_t> value, Done done) {
-  assert(value.size() <= cfg_.value_size);
-  client_.sched().submit(
-      client_pid_, cfg_.op_cpu,
-      [this, key, value = std::move(value), done = std::move(done)]() mutable {
-        memtable_.insert(key, value);
-        std::vector<core::ReplicatedWal::Entry> entries;
-        entries.push_back({slot_offset(key), encode_slot(key, value)});
-        auto done_sp = std::make_shared<Done>(std::move(done));
-        const bool ok = wal_.append(
-            entries, [done_sp](uint64_t) { (*done_sp)(true); });
-        if (!ok) {
-          // Log full: checkpoint and retry shortly.
-          maybe_checkpoint();
-          client_.loop().schedule_after(
-              sim::usec(200),
-              [this, key, value = std::move(value), done_sp,
-               alive = alive_]() mutable {
-                if (!*alive) return;
-                put(key, std::move(value),
-                    [done_sp](bool ok2) { (*done_sp)(ok2); });
-              });
-          return;
-        }
-        maybe_checkpoint();
+void KvStore::defer_put(uint64_t key, std::vector<uint8_t> value,
+                        std::shared_ptr<Done> done_sp) {
+  client_.loop().schedule_after(
+      sim::usec(200),
+      [this, key, value = std::move(value), done_sp,
+       alive = alive_]() mutable {
+        if (!*alive) return;
+        put(key, std::move(value),
+            [done_sp](bool ok) { (*done_sp)(ok); });
       });
 }
 
-void KvStore::maybe_checkpoint() {
-  if (checkpoint_running_) return;
-  if (static_cast<double>(wal_.used_bytes()) <
+void KvStore::put(uint64_t key, std::vector<uint8_t> value, Done done) {
+  assert(value.size() <= cfg_.value_size);
+  const uint32_t s = shard_of(key);
+  client_.sched().submit(
+      client_pid_, cfg_.op_cpu,
+      [this, s, key, value = std::move(value),
+       done = std::move(done)]() mutable {
+        if (shards_[s].paused) {
+          // The shard's chain is under repair: defer, touching nothing —
+          // the memtable must not run ahead of a WAL that cannot commit.
+          defer_put(key, std::move(value),
+                    std::make_shared<Done>(std::move(done)));
+          return;
+        }
+        shards_[s].memtable.insert(key, value);
+        std::vector<core::ReplicatedWal::Entry> entries;
+        entries.push_back({slot_offset(key), encode_slot(key, value)});
+        auto done_sp = std::make_shared<Done>(std::move(done));
+        const bool ok = wal_.append_to(
+            s, entries, [done_sp](uint64_t) { (*done_sp)(true); });
+        if (!ok) {
+          // Log full: checkpoint this shard and retry shortly.
+          maybe_checkpoint(s);
+          defer_put(key, std::move(value), done_sp);
+          return;
+        }
+        maybe_checkpoint(s);
+      });
+}
+
+void KvStore::maybe_checkpoint(uint32_t s) {
+  Shard& sh = shards_[s];
+  if (sh.checkpoint_running) return;
+  if (static_cast<double>(wal_.shard(s).used_bytes()) <
       cfg_.checkpoint_threshold * static_cast<double>(cfg_.layout.log_size)) {
     return;
   }
-  checkpoint_running_ = true;
+  sh.checkpoint_running = true;
   ++checkpoints_;
   // Drain until half the threshold, one record at a time, off the
   // critical path (appends continue concurrently).
-  checkpoint_step();
+  checkpoint_step(s);
 }
 
-void KvStore::checkpoint_step() {
+void KvStore::checkpoint_step(uint32_t s) {
   const bool below =
-      static_cast<double>(wal_.used_bytes()) <
+      static_cast<double>(wal_.shard(s).used_bytes()) <
       cfg_.checkpoint_threshold / 2 * static_cast<double>(cfg_.layout.log_size);
-  const auto next = [this, alive = alive_] {
-    if (*alive) checkpoint_step();
+  const auto next = [this, s, alive = alive_] {
+    if (*alive) checkpoint_step(s);
   };
-  if (below || !wal_.execute_and_advance(next)) {
-    checkpoint_running_ = false;
+  if (below || !wal_.execute_and_advance(s, next)) {
+    shards_[s].checkpoint_running = false;
   }
 }
 
@@ -100,7 +122,8 @@ void KvStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
 void KvStore::read(uint64_t key, ReadDone done) {
   client_.sched().submit(client_pid_, cfg_.op_cpu,
                          [this, key, done = std::move(done)]() mutable {
-                           const auto* v = memtable_.find(key);
+                           const auto* v =
+                               shards_[shard_of(key)].memtable.find(key);
                            if (v == nullptr) {
                              done(false, {});
                            } else {
@@ -114,7 +137,9 @@ void KvStore::scan(uint64_t key, int count, Done done) {
       cfg_.op_cpu + sim::nsec(300) * static_cast<sim::Duration>(count);
   client_.sched().submit(client_pid_, cpu, [this, key, count,
                                             done = std::move(done)]() mutable {
-    auto it = memtable_.seek(key);
+    // Scans walk the owning shard's table: dense keys stripe round-robin,
+    // so one shard's iterator still yields `count` ascending keys.
+    auto it = shards_[shard_of(key)].memtable.seek(key);
     int n = 0;
     while (it.valid() && n < count) {
       it.next();
@@ -149,49 +174,51 @@ void KvStore::replica_sync_tick(size_t i) {
   r.server->loop().schedule_after(cfg_.sync_period, [this, i, alive = alive_] {
     if (!*alive) return;
     ReplicaState& rs = replica_tables_[i];
-    // Read this replica's durable tail pointer from its own region.
-    uint64_t tail = 0;
-    group_.replica_load(i, core::RegionLayout::kTailOffset, &tail, 8);
-
     uint64_t new_records = 0;
-    uint64_t v = rs.applied;
-    const auto& lay = cfg_.layout;
-    auto log_phys = [&](uint64_t off) {
-      return lay.log_base() + (off % lay.log_size);
-    };
-    while (v < tail) {
-      // [magic u32][num u32][lsn u64][total u32][crc u32]
-      uint32_t magic = 0, total = 0, num = 0;
-      group_.replica_load(i, log_phys(v), &magic, 4);
-      group_.replica_load(i, log_phys(v) + 16, &total, 4);
-      if (magic == 0x57524150 /* WRAP */) {
-        v += total;
-        continue;
-      }
-      if (magic != 0x57414C21 /* WAL! */ || total == 0) break;
-      group_.replica_load(i, log_phys(v) + 4, &num, 4);
-      uint64_t p = v + 24;  // first entry header
-      for (uint32_t e = 0; e < num; ++e) {
-        uint64_t db_off = 0;
-        uint32_t len = 0;
-        group_.replica_load(i, log_phys(p), &db_off, 8);
-        group_.replica_load(i, log_phys(p) + 8, &len, 4);
-        // Slot payload: [key u64][len u32][pad][value...]
-        if (len >= 16) {
-          uint64_t key = 0;
-          uint32_t vlen = 0;
-          group_.replica_load(i, log_phys(p + 16), &key, 8);
-          group_.replica_load(i, log_phys(p + 24), &vlen, 4);
-          std::vector<uint8_t> val(vlen);
-          group_.replica_load(i, log_phys(p + 32), val.data(), vlen);
-          rs.table.insert(key, std::move(val));
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      const core::RegionLayout& lay = shards_[s].layout;
+      // Read this replica's durable tail pointer from its own region.
+      uint64_t tail = 0;
+      group_.replica_load(i, lay.tail_ptr_offset(), &tail, 8);
+
+      uint64_t v = rs.applied[s];
+      auto log_phys = [&](uint64_t off) {
+        return lay.log_base() + (off % lay.log_size);
+      };
+      while (v < tail) {
+        // [magic u32][num u32][lsn u64][total u32][crc u32]
+        uint32_t magic = 0, total = 0, num = 0;
+        group_.replica_load(i, log_phys(v), &magic, 4);
+        group_.replica_load(i, log_phys(v) + 16, &total, 4);
+        if (magic == 0x57524150 /* WRAP */) {
+          v += total;
+          continue;
         }
-        p += 16 + ((len + 7) & ~uint64_t{7});
+        if (magic != 0x57414C21 /* WAL! */ || total == 0) break;
+        group_.replica_load(i, log_phys(v) + 4, &num, 4);
+        uint64_t p = v + 24;  // first entry header
+        for (uint32_t e = 0; e < num; ++e) {
+          uint64_t db_off = 0;
+          uint32_t len = 0;
+          group_.replica_load(i, log_phys(p), &db_off, 8);
+          group_.replica_load(i, log_phys(p) + 8, &len, 4);
+          // Slot payload: [key u64][len u32][pad][value...]
+          if (len >= 16) {
+            uint64_t key = 0;
+            uint32_t vlen = 0;
+            group_.replica_load(i, log_phys(p + 16), &key, 8);
+            group_.replica_load(i, log_phys(p + 24), &vlen, 4);
+            std::vector<uint8_t> val(vlen);
+            group_.replica_load(i, log_phys(p + 32), val.data(), vlen);
+            rs.table.insert(key, std::move(val));
+          }
+          p += 16 + ((len + 7) & ~uint64_t{7});
+        }
+        v += total;
+        ++new_records;
       }
-      v += total;
-      ++new_records;
+      rs.applied[s] = v;
     }
-    rs.applied = v;
     if (new_records > 0) {
       // Charge the off-path CPU the sync actually used.
       rs.server->sched().submit(
@@ -203,50 +230,73 @@ void KvStore::replica_sync_tick(size_t i) {
 }
 
 void KvStore::recover() {
-  memtable_.clear();
-  // 1) Replay the committed log into the DB area (idempotent redo).
-  core::ReplicatedWal::replay(
-      cfg_.layout,
-      [this](uint64_t off, void* dst, uint32_t len) {
-        group_.client_load(off, dst, len);
-      },
-      [this](uint64_t off, const void* src, uint32_t len) {
-        group_.client_store(off, src, len);
-      });
-  // 2) Scan DB-area slots.
-  const uint64_t slots = cfg_.layout.db_size() / slot_stride();
-  for (uint64_t s = 0; s < slots; ++s) {
-    const uint64_t off = cfg_.layout.db_base() + s * slot_stride();
-    uint64_t key = 0;
-    uint32_t len = 0;
-    group_.client_load(off, &key, 8);
-    group_.client_load(off + 8, &len, 4);
-    if (len == 0 || len > cfg_.value_size) continue;
-    if (key != s) continue;  // never-written slot
-    std::vector<uint8_t> val(len);
-    group_.client_load(off + 16, val.data(), len);
-    memtable_.insert(key, std::move(val));
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    Shard& sh = shards_[s];
+    sh.memtable.clear();
+    // 1) Replay the committed log into the DB area (idempotent redo).
+    core::ReplicatedWal::replay(
+        sh.layout,
+        [this](uint64_t off, void* dst, uint32_t len) {
+          group_.client_load(off, dst, len);
+        },
+        [this](uint64_t off, const void* src, uint32_t len) {
+          group_.client_store(off, src, len);
+        });
+    // 2) Scan this shard's DB-area slots; local slot l holds key
+    //    l * shards + s (the stripe inverse).
+    const uint64_t slots = sh.layout.db_size() / slot_stride();
+    for (uint64_t l = 0; l < slots; ++l) {
+      const uint64_t off = sh.layout.db_base() + l * slot_stride();
+      const uint64_t expect = l * cfg_.shards + s;
+      uint64_t key = 0;
+      uint32_t len = 0;
+      group_.client_load(off, &key, 8);
+      group_.client_load(off + 8, &len, 4);
+      if (len == 0 || len > cfg_.value_size) continue;
+      if (key != expect) continue;  // never-written slot
+      std::vector<uint8_t> val(len);
+      group_.client_load(off + 16, val.data(), len);
+      sh.memtable.insert(key, std::move(val));
+    }
+    wal_.shard(s).reload_pointers();
   }
-  wal_.reload_pointers();
 }
 
 void KvStore::bulk_load(uint64_t n) {
-  // Control-path load: fill client memtable + region image, replicate the
-  // DB area in large chunks, and seed the replica tables directly.
+  // Control-path load: fill client memtables + region image, replicate
+  // each shard's DB span in large chunks, and seed the replica tables
+  // directly.
   for (uint64_t k = 0; k < n; ++k) {
     auto value = WorkloadGenerator::value_for(k, cfg_.value_size);
     const auto slot = encode_slot(k, value);
-    group_.client_store(cfg_.layout.db_base() + slot_offset(k), slot.data(),
+    const Shard& sh = shards_[shard_of(k)];
+    group_.client_store(sh.layout.db_base() + slot_offset(k), slot.data(),
                         static_cast<uint32_t>(slot.size()));
-    memtable_.insert(k, std::move(value));
+    shards_[shard_of(k)].memtable.insert(k, std::move(value));
   }
-  const uint64_t total = n * slot_stride();
   const uint32_t chunk = 256 << 10;
-  for (uint64_t off = 0; off < total; off += chunk) {
-    const auto len = static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
-    group_.gwrite(cfg_.layout.db_base() + off, len, /*flush=*/true, [] {});
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    // Keys striping k % shards leave shard s with ceil((n - s) / shards)
+    // loaded slots.
+    const uint64_t local = s < n % cfg_.shards ? n / cfg_.shards + 1
+                                               : n / cfg_.shards;
+    const uint64_t total = local * slot_stride();
+    for (uint64_t off = 0; off < total; off += chunk) {
+      const auto len =
+          static_cast<uint32_t>(std::min<uint64_t>(chunk, total - off));
+      group_.gwrite(shards_[s].layout.db_base() + off, len, /*flush=*/true,
+                    [] {});
+    }
   }
-  for (auto& r : replica_tables_) r.table.copy_from(memtable_);
+  for (auto& r : replica_tables_) {
+    r.table.clear();
+    for (const Shard& sh : shards_) {
+      for (SkipList::Iterator it = sh.memtable.begin(); it.valid();
+           it.next()) {
+        r.table.insert(it.key(), it.value());
+      }
+    }
+  }
 }
 
 }  // namespace hyperloop::apps

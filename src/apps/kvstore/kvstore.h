@@ -14,6 +14,14 @@
 //   - Recovery: rebuild the table from the database area plus a replay of
 //     the committed log suffix.
 //
+// Sharded mode (Config::shards > 1, DESIGN.md "Sharded datapath"): the
+// keyspace is partitioned key % shards, each shard owning its own region
+// slice (skiplist memtable, WAL segment, checkpoint cycle). Under a
+// ShardedGroup whose range router spans one slice, every shard's write
+// path rides its own replication chain — and a paused shard (its chain
+// lost a replica) defers only its own keys' writes while the others keep
+// committing.
+//
 // Records are fixed-stride slots in the DB area, indexed by the dense
 // YCSB key: [key u64][len u32][pad u32][value bytes].
 #pragma once
@@ -32,7 +40,11 @@ namespace hyperloop::apps {
 class KvStore : public StorageEngine {
  public:
   struct Config {
+    /// With shards == 1: the whole region. With shards > 1: the layout of
+    /// ONE slice (shard s uses layout.shard_slice(s)); the group's region
+    /// must cover shards * layout.region_size bytes.
     core::RegionLayout layout;
+    uint32_t shards = 1;
     uint32_t value_size = 1024;
     /// CPU per operation on the client process (serialize + memtable).
     sim::Duration op_cpu = sim::usec(2);
@@ -71,43 +83,70 @@ class KvStore : public StorageEngine {
   }
 
   /// Rebuilds the client memtable from the durable region image (crash
-  /// recovery): DB-area scan plus committed-log replay.
+  /// recovery): DB-area scan plus committed-log replay, per shard.
   void recover();
 
   /// Loads `n` initial records synchronously (bulk load before a bench);
   /// returns once all appends are issued — run the loop to quiesce.
   void bulk_load(uint64_t n);
 
-  core::ReplicatedWal& wal() { return wal_; }
+  /// Which shard owns `key` (key % shards).
+  uint32_t shard_of(uint64_t key) const {
+    return static_cast<uint32_t>(key % cfg_.shards);
+  }
+
+  /// Pauses/resumes shard `s`'s write path (chain supervision hook: a
+  /// shard whose chain lost a replica defers its puts — with periodic
+  /// retry — until resumed; other shards are untouched).
+  void set_shard_paused(uint32_t s, bool paused) {
+    shards_.at(s).paused = paused;
+  }
+  bool shard_paused(uint32_t s) const { return shards_.at(s).paused; }
+
+  core::ReplicatedWal& wal() { return wal_.shard(0); }
+  core::ReplicatedWal& wal(size_t s) { return wal_.shard(s); }
+  core::ShardedWal& sharded_wal() { return wal_; }
   uint64_t checkpoints() const { return checkpoints_; }
 
  private:
+  struct Shard {
+    core::RegionLayout layout;  ///< this shard's slice
+    SkipList memtable;
+    bool checkpoint_running = false;
+    bool paused = false;
+  };
   struct ReplicaState {
     core::Server* server = nullptr;
     sim::ProcessId pid = 0;
-    uint64_t applied = 0;  ///< virtual log offset already applied
+    /// Virtual log offset already applied, per shard segment.
+    std::vector<uint64_t> applied;
     SkipList table;
   };
 
   uint64_t slot_stride() const { return 16 + cfg_.value_size; }
-  uint64_t slot_offset(uint64_t key) const { return key * slot_stride(); }
+  /// DB-area offset of `key`'s slot within its owning shard's slice:
+  /// shards stripe the keyspace, so key k is local slot k / shards.
+  uint64_t slot_offset(uint64_t key) const {
+    return (key / cfg_.shards) * slot_stride();
+  }
   std::vector<uint8_t> encode_slot(uint64_t key,
                                    const std::vector<uint8_t>& value) const;
 
   void put(uint64_t key, std::vector<uint8_t> value, Done done);
-  void maybe_checkpoint();
-  void checkpoint_step();
+  void defer_put(uint64_t key, std::vector<uint8_t> value,
+                 std::shared_ptr<Done> done_sp);
+  void maybe_checkpoint(uint32_t s);
+  void checkpoint_step(uint32_t s);
   void replica_sync_tick(size_t i);
 
   core::ReplicationGroup& group_;
   core::Server& client_;
   Config cfg_;
-  core::ReplicatedWal wal_;
+  core::ShardedWal wal_;
   sim::ProcessId client_pid_;
-  SkipList memtable_;
+  std::vector<Shard> shards_;
   std::vector<ReplicaState> replica_tables_;
   uint64_t checkpoints_ = 0;
-  bool checkpoint_running_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -3,7 +3,10 @@
 #include <cassert>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/buf_pool.h"
 
 namespace hyperloop::core {
 namespace {
@@ -47,6 +50,7 @@ ChainManager::ChainManager(Server& client, std::vector<ReplicaInfo> replicas,
       cfg_.port_base, client_pid_,
       [this](rdma::NicId, uint16_t, std::vector<uint8_t> bytes) {
         const HbMsg m = decode(bytes);
+        BufPool::release(std::move(bytes));
         if (m.replica < echoed_.size()) echoed_[m.replica] = true;
       });
 
@@ -57,12 +61,18 @@ ChainManager::ChainManager(Server& client, std::vector<ReplicaInfo> replicas,
     s->tcp().listen(
         cfg_.port_base, replica_pids_[i],
         [this, i, s](rdma::NicId src, uint16_t, std::vector<uint8_t> bytes) {
-          if (!alive_[i]) return;  // dead replicas do not echo
+          if (!alive_[i]) {  // dead replicas do not echo
+            BufPool::release(std::move(bytes));
+            return;
+          }
           s->sched().submit(replica_pids_[i], cfg_.hb_cpu,
-                            [this, i, s, src, b = std::move(bytes)] {
-                              if (!alive_[i]) return;
+                            [this, i, s, src, b = std::move(bytes)]() mutable {
+                              if (!alive_[i]) {
+                                BufPool::release(std::move(b));
+                                return;
+                              }
                               s->tcp().send(replica_pids_[i], src,
-                                            cfg_.port_base, b);
+                                            cfg_.port_base, std::move(b));
                             });
         });
   }
@@ -152,6 +162,49 @@ void ChainManager::revive_replica(size_t i) {
     if (all) paused_ = false;
     if (on_recovered_) on_recovered_(i);
   });
+}
+
+ShardedChainManager::ShardedChainManager(
+    Server& client,
+    std::vector<std::vector<ChainManager::ReplicaInfo>> shard_replicas,
+    uint64_t region_size, ChainManager::Config cfg) {
+  mgrs_.reserve(shard_replicas.size());
+  for (size_t s = 0; s < shard_replicas.size(); ++s) {
+    ChainManager::Config shard_cfg = cfg;
+    shard_cfg.port_base = static_cast<uint16_t>(cfg.port_base + s);
+    mgrs_.push_back(std::make_unique<ChainManager>(
+        client, std::move(shard_replicas[s]), region_size, shard_cfg));
+  }
+}
+
+void ShardedChainManager::start() {
+  for (auto& m : mgrs_) m->start();
+}
+
+void ShardedChainManager::set_on_shard_failure(
+    std::function<void(size_t, size_t)> fn) {
+  for (size_t s = 0; s < mgrs_.size(); ++s) {
+    mgrs_[s]->set_on_failure([fn, s](size_t replica) { fn(s, replica); });
+  }
+}
+
+void ShardedChainManager::set_on_shard_recovered(
+    std::function<void(size_t, size_t)> fn) {
+  for (size_t s = 0; s < mgrs_.size(); ++s) {
+    mgrs_[s]->set_on_recovered([fn, s](size_t replica) { fn(s, replica); });
+  }
+}
+
+uint64_t ShardedChainManager::failures_detected() const {
+  uint64_t n = 0;
+  for (const auto& m : mgrs_) n += m->failures_detected();
+  return n;
+}
+
+uint64_t ShardedChainManager::recoveries() const {
+  uint64_t n = 0;
+  for (const auto& m : mgrs_) n += m->recoveries();
+  return n;
 }
 
 }  // namespace hyperloop::core

@@ -67,23 +67,23 @@ HyperLoopGroup::HyperLoopGroup(Server& client, std::vector<Server*> replicas,
     ReplicaChain& first = replicas_.front().chain[pi];
     ReplicaChain& last = replicas_.back().chain[pi];
 
-    client_.nic().connect(cc.qp_down, replicas_.front().server->nic().id(),
+    client_.nic(cfg_.nic_index).connect(cc.qp_down, replicas_.front().server->nic(cfg_.nic_index).id(),
                           first.qp_prev->qpn);
-    replicas_.front().server->nic().connect(
-        first.qp_prev, client_.nic().id(), cc.qp_down->qpn);
+    replicas_.front().server->nic(cfg_.nic_index).connect(
+        first.qp_prev, client_.nic(cfg_.nic_index).id(), cc.qp_down->qpn);
 
     for (size_t i = 0; i + 1 < replicas_.size(); ++i) {
       ReplicaChain& a = replicas_[i].chain[pi];
       ReplicaChain& b = replicas_[i + 1].chain[pi];
-      replicas_[i].server->nic().connect(
-          a.qp_next, replicas_[i + 1].server->nic().id(), b.qp_prev->qpn);
-      replicas_[i + 1].server->nic().connect(
-          b.qp_prev, replicas_[i].server->nic().id(), a.qp_next->qpn);
+      replicas_[i].server->nic(cfg_.nic_index).connect(
+          a.qp_next, replicas_[i + 1].server->nic(cfg_.nic_index).id(), b.qp_prev->qpn);
+      replicas_[i + 1].server->nic(cfg_.nic_index).connect(
+          b.qp_prev, replicas_[i].server->nic(cfg_.nic_index).id(), a.qp_next->qpn);
     }
 
-    replicas_.back().server->nic().connect(last.qp_next, client_.nic().id(),
+    replicas_.back().server->nic(cfg_.nic_index).connect(last.qp_next, client_.nic(cfg_.nic_index).id(),
                                            cc.qp_up->qpn);
-    client_.nic().connect(cc.qp_up, replicas_.back().server->nic().id(),
+    client_.nic(cfg_.nic_index).connect(cc.qp_up, replicas_.back().server->nic(cfg_.nic_index).id(),
                           last.qp_next->qpn);
 
     // Pre-arm the full ring on every replica.
@@ -96,7 +96,7 @@ HyperLoopGroup::HyperLoopGroup(Server& client, std::vector<Server*> replicas,
 
     // Client ack RECV ring + event-driven ack handling.
     for (uint32_t s = 0; s < cfg_.max_inflight * 2; ++s) {
-      client_.nic().post_recv(cc.qp_up, RecvWqe{});
+      client_.nic(cfg_.nic_index).post_recv(cc.qp_up, RecvWqe{});
     }
     cc.cq_up->set_notify([this, p] { on_ack_cqe(p); });
     cc.cq_up->arm_notify();
@@ -129,7 +129,7 @@ void HyperLoopGroup::stop() {
   // unlinks it from any CQ waiter list, and destroy_cq asserts that no
   // WAIT-parked QP still references the CQ.
   for (Replica& r : replicas_) {
-    rdma::Nic& nic = r.server->nic();
+    rdma::Nic& nic = r.server->nic(cfg_.nic_index);
     for (ReplicaChain& c : r.chain) {
       if (c.qp_prev) nic.destroy_qp(c.qp_prev);
       if (c.qp_next) nic.destroy_qp(c.qp_next);
@@ -142,7 +142,7 @@ void HyperLoopGroup::stop() {
     }
   }
   for (ClientChain& cc : client_chain_) {
-    rdma::Nic& nic = client_.nic();
+    rdma::Nic& nic = client_.nic(cfg_.nic_index);
     if (cc.qp_down) nic.destroy_qp(cc.qp_down);
     if (cc.qp_up) nic.destroy_qp(cc.qp_up);
     if (cc.cq_down) nic.destroy_cq(cc.cq_down);
@@ -164,7 +164,7 @@ uint32_t HyperLoopGroup::hop_payload(Prim p, size_t hop) const {
 
 void HyperLoopGroup::setup_replica(size_t idx) {
   Replica& r = replicas_[idx];
-  rdma::Nic& nic = r.server->nic();
+  rdma::Nic& nic = r.server->nic(cfg_.nic_index);
   rdma::HostMemory& mem = r.server->mem();
 
   r.data_base = r.server->nvm().alloc(cfg_.region_size, 4096);
@@ -218,7 +218,7 @@ void HyperLoopGroup::setup_replica(size_t idx) {
 
 void HyperLoopGroup::setup_client_chain(Prim p) {
   ClientChain& cc = client_chain_[static_cast<int>(p)];
-  rdma::Nic& nic = client_.nic();
+  rdma::Nic& nic = client_.nic(cfg_.nic_index);
   rdma::HostMemory& mem = client_.mem();
 
   cc.staging_slot =
@@ -249,7 +249,7 @@ void HyperLoopGroup::setup_client_chain(Prim p) {
 void HyperLoopGroup::rearm_slot(size_t replica, Prim p, uint64_t seq) {
   Replica& r = replicas_[replica];
   ReplicaChain& c = r.chain[static_cast<int>(p)];
-  rdma::Nic& nic = r.server->nic();
+  rdma::Nic& nic = r.server->nic(cfg_.nic_index);
   const uint32_t S = cfg_.ring_slots;
 
   RecvWqe recv;
@@ -586,7 +586,7 @@ void HyperLoopGroup::stage_meta_send(Prim p, uint64_t seq, uint32_t blob_len) {
     send.d.aux_addr = client_zeros_;
     send.d.aux_length = result_bytes();
   }
-  client_.nic().stage_send(cc.qp_down, send);
+  client_.nic(cfg_.nic_index).stage_send(cc.qp_down, send);
 }
 
 void HyperLoopGroup::dispatch(Prim p, QueuedOp&& op) {
@@ -616,7 +616,7 @@ void HyperLoopGroup::on_ack_cqe(Prim p) {
     if (!slot.live || slot.seq != cqe.imm) continue;
     slot.live = false;
     cc.completed_seq = cqe.imm;
-    client_.nic().post_recv(cc.qp_up, RecvWqe{});
+    client_.nic(cfg_.nic_index).post_recv(cc.qp_up, RecvWqe{});
     --cc.inflight;
     if (p == Prim::kCas) {
       CasDone handler = std::move(slot.cas_done);
@@ -655,15 +655,15 @@ void HyperLoopGroup::issue_gwrite(uint64_t offset, uint32_t len, bool flush,
   // The metadata SEND behind it (same QP, one doorbell) acknowledges the
   // WRITE cumulatively — no standalone ACK packet needed.
   data.d.flags |= rdma::kWqeFlagAckElide;
-  client_.nic().stage_send(cc.qp_down, data);
+  client_.nic(cfg_.nic_index).stage_send(cc.qp_down, data);
   if (flush) {
-    client_.nic().stage_send(
+    client_.nic(cfg_.nic_index).stage_send(
         cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
   }
   const uint32_t blob_len = stage_gwrite_blob(seq, offset, len, flush);
   claim_slot(cc, seq).done = std::move(done);
   stage_meta_send(Prim::kWrite, seq, blob_len);
-  client_.nic().ring_doorbell(cc.qp_down);
+  client_.nic(cfg_.nic_index).ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::issue_gwritev(const ExtentVec& extents, bool flush,
@@ -684,16 +684,16 @@ void HyperLoopGroup::issue_gwritev(const ExtentVec& extents, bool flush,
         rdma::make_write(client_region_ + e.offset, 0, r0.data_base + e.offset,
                          r0.data_mr.rkey, e.len);
     data.d.flags |= rdma::kWqeFlagAckElide;  // metadata SEND acks the batch
-    client_.nic().stage_send(cc.qp_down, data);
+    client_.nic(cfg_.nic_index).stage_send(cc.qp_down, data);
   }
   if (flush) {
-    client_.nic().stage_send(
+    client_.nic(cfg_.nic_index).stage_send(
         cc.qp_down, rdma::make_flush(r0.data_base, r0.data_mr.rkey));
   }
   const uint32_t blob_len = stage_gwritev_blob(seq, extents, flush);
   claim_slot(cc, seq).done = std::move(done);
   stage_meta_send(Prim::kWriteV, seq, blob_len);
-  client_.nic().ring_doorbell(cc.qp_down);
+  client_.nic(cfg_.nic_index).ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len,
@@ -708,7 +708,7 @@ void HyperLoopGroup::issue_gmemcpy(uint64_t src, uint64_t dst, uint32_t len,
   const uint32_t blob_len = stage_gmemcpy_blob(seq, src, dst, len, flush);
   claim_slot(cc, seq).done = std::move(done);
   stage_meta_send(Prim::kMemcpy, seq, blob_len);
-  client_.nic().ring_doorbell(cc.qp_down);
+  client_.nic(cfg_.nic_index).ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::issue_gcas(uint64_t offset, uint64_t expected,
@@ -720,7 +720,7 @@ void HyperLoopGroup::issue_gcas(uint64_t offset, uint64_t expected,
       stage_gcas_blob(seq, offset, expected, desired, exec);
   claim_slot(cc, seq).cas_done = std::move(done);
   stage_meta_send(Prim::kCas, seq, blob_len);
-  client_.nic().ring_doorbell(cc.qp_down);
+  client_.nic(cfg_.nic_index).ring_doorbell(cc.qp_down);
 }
 
 void HyperLoopGroup::gwrite(uint64_t offset, uint32_t len, bool flush,
@@ -833,7 +833,7 @@ rdma::Addr HyperLoopGroup::replica_region_base(size_t i) const {
 
 uint64_t HyperLoopGroup::total_rnr_stalls() const {
   uint64_t n = 0;
-  for (const Replica& r : replicas_) n += r.server->nic().counters().rnr_stalls;
+  for (const Replica& r : replicas_) n += r.server->nic(cfg_.nic_index).counters().rnr_stalls;
   return n;
 }
 

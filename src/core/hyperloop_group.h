@@ -56,6 +56,10 @@ class HyperLoopGroup final : public ReplicationGroup {
     /// If false, replicas re-arm rings with zero CPU (idealized NIC
     /// self-refill; used by ablation benchmarks).
     bool refill_via_cpu = true;
+    /// Which NIC (per server, wrapping) carries this group's QPs.
+    /// Sharded deployments give shard s nic_index = s so chains land on
+    /// distinct simulated NICs (ServerConfig::num_nics).
+    uint32_t nic_index = 0;
 
     /// Enforces the documented invariants (constructor calls this; it
     /// aborts with a diagnostic rather than silently mis-running):

@@ -8,6 +8,12 @@
 //   u64 log_head   offset of the first unprocessed record (relative to log)
 //   u64 log_tail   offset one past the last appended record
 //   u64 epoch      membership epoch (bumped by reconfiguration)
+//
+// Sharded deployments (PR 8) carve one group region into K back-to-back
+// slices, each a complete layout of its own: slice s sets `base` to
+// s * region_size and every derived offset (control block, locks, log,
+// db) lands inside [base, base + region_size). `base = 0` is the classic
+// single-shard layout, so existing callers are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,8 @@ struct RegionLayout {
   uint64_t region_size = 4u << 20;
   uint32_t num_locks = 64;
   uint64_t log_size = 1u << 20;
+  /// Region offset this layout starts at (shard slice base).
+  uint64_t base = 0;
 
   static constexpr uint64_t kControlBase = 0;
   static constexpr uint64_t kControlSize = 64;
@@ -28,7 +36,12 @@ struct RegionLayout {
   /// Bytes per lock-table entry: [writer word (8)] [reader count (8)].
   static constexpr uint64_t kLockEntrySize = 16;
 
-  uint64_t lock_table_base() const { return kControlBase + kControlSize; }
+  uint64_t control_base() const { return base + kControlBase; }
+  uint64_t head_ptr_offset() const { return control_base() + kHeadOffset; }
+  uint64_t tail_ptr_offset() const { return control_base() + kTailOffset; }
+  uint64_t epoch_ptr_offset() const { return control_base() + kEpochOffset; }
+
+  uint64_t lock_table_base() const { return control_base() + kControlSize; }
   uint64_t lock_offset(uint32_t lock_id) const {
     return lock_table_base() + uint64_t{lock_id} * kLockEntrySize;
   }
@@ -41,10 +54,18 @@ struct RegionLayout {
     return (b + 63) & ~uint64_t{63};
   }
   uint64_t db_base() const { return log_base() + log_size; }
-  uint64_t db_size() const { return region_size - db_base(); }
+  uint64_t db_size() const { return base + region_size - db_base(); }
 
   bool valid() const {
-    return db_base() < region_size && log_size >= 4096;
+    return db_base() < base + region_size && log_size >= 4096;
+  }
+
+  /// The slice layout for shard `s` of equal slices: identical shape,
+  /// based `s` slices in.
+  RegionLayout shard_slice(uint32_t s) const {
+    RegionLayout l = *this;
+    l.base = base + uint64_t{s} * region_size;
+    return l;
   }
 };
 

@@ -9,7 +9,14 @@ Server::Server(sim::EventLoop& loop, rdma::Network& net, ServerConfig cfg)
       mem_(cfg_.mem_capacity),
       nvm_(mem_, cfg_.nvm_size),
       nic_(loop, net, mem_, &nvm_, cfg_.nic),
-      tcp_(loop, net, nic_.id(), sched_, cfg_.tcp) {}
+      tcp_(loop, net, nic_.id(), sched_, cfg_.tcp) {
+  // Extra NICs share the machine's memory and NVM — they are additional
+  // ports into the same region, one per shard in sharded deployments.
+  for (uint32_t i = 1; i < cfg_.num_nics; ++i) {
+    extra_nics_.push_back(
+        std::make_unique<rdma::Nic>(loop, net, mem_, &nvm_, cfg_.nic));
+  }
+}
 
 void Server::add_background_load(int tenants, sim::Rng rng,
                                  sim::BackgroundLoad::Config cfg) {

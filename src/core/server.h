@@ -29,6 +29,9 @@ struct ServerConfig {
   size_t nvm_size = 64u << 20;       ///< battery-backed region within it
   rdma::Nic::Config nic{};
   TcpStack::Config tcp{};
+  /// Simulated NICs on this machine (sharded deployments place each
+  /// shard's QPs on a distinct NIC). NIC 0 carries the TCP stack.
+  uint32_t num_nics = 1;
 };
 
 /// One machine: CPU + memory + NVM + RNIC + TCP.
@@ -44,6 +47,13 @@ class Server {
   rdma::HostMemory& mem() { return mem_; }
   nvm::NvmDevice& nvm() { return nvm_; }
   rdma::Nic& nic() { return nic_; }
+  /// NIC `i` of num_nics (wraps, so shard s can always ask for NIC s).
+  rdma::Nic& nic(size_t i) {
+    const size_t n = 1 + extra_nics_.size();
+    i %= n;
+    return i == 0 ? nic_ : *extra_nics_[i - 1];
+  }
+  size_t num_nics() const { return 1 + extra_nics_.size(); }
   TcpStack& tcp() { return tcp_; }
 
   /// Starts `tenants` background tenant processes on this server.
@@ -57,6 +67,7 @@ class Server {
   rdma::HostMemory mem_;
   nvm::NvmDevice nvm_;
   rdma::Nic nic_;
+  std::vector<std::unique_ptr<rdma::Nic>> extra_nics_;
   TcpStack tcp_;
   std::vector<std::unique_ptr<sim::BackgroundLoad>> loads_;
 };

@@ -1,0 +1,161 @@
+// Sharded multi-chain replication (DESIGN.md "Sharded datapath").
+//
+// A ShardedGroup composes K independent ReplicationGroup chains behind
+// the single-group primitive API: a ShardRouter maps every region offset
+// to its owning chain, and each primitive rides that chain's own QPs,
+// credit window and in-flight tracking — K chains turn the per-chain
+// op/s ceiling into an additive budget, because nothing is shared between
+// shards past the router (no common window, no common FIFO, distinct
+// simulated NICs when the backends are placed on them).
+//
+// Addressing is *identity*: offsets are never rebased, every child chain
+// exposes the full logical region and simply never carries bytes outside
+// its shard. That keeps the layers above (WAL slices, lock tables,
+// kvstore/docstore layouts) oblivious — a based RegionLayout plus a range
+// router is all the partitioning there is.
+//
+// Router contract: a primitive's byte range must not cross a routing
+// boundary (asserted in debug builds). The range policy makes that
+// natural — whole slices map to one shard; the hash policy requires
+// callers to keep objects within one routing granule (chunk_shift is
+// part of the contract). Cross-shard gWRITEV batches are the exception:
+// they are split per shard and rejoined with a pooled scatter-join
+// completion, so callers see one done for the whole batch.
+//
+// Hot-path discipline matches the other groups: sim::SmallFn completions,
+// pooled join slots indexed by small integers, zero steady-state
+// allocations (gated by tools/lint_hot_path.sh and the alloc test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/group.h"
+
+namespace hyperloop::core {
+
+/// Maps region offsets to shards. Value type, cheap to copy; the custom
+/// hook is a plain function pointer + context so the router stays POD
+/// (no type-erased heap-backed callable on the per-op path).
+struct ShardRouter {
+  enum class Policy : uint8_t { kHash, kRange };
+  using CustomFn = uint32_t (*)(uint64_t offset, void* ctx);
+
+  Policy policy = Policy::kHash;
+  uint32_t shards = 1;
+  /// kHash: routing granule = 1 << chunk_shift bytes; the granule index
+  /// is mix-hashed so adjacent granules spread across shards.
+  uint64_t chunk_shift = 12;
+  /// kRange: contiguous span (bytes) owned by each shard; offsets past
+  /// shards * span clamp to the last shard.
+  uint64_t span = 0;
+  CustomFn custom = nullptr;
+  void* custom_ctx = nullptr;
+
+  static ShardRouter hash(uint32_t shards, uint64_t chunk_shift = 12) {
+    ShardRouter r;
+    r.policy = Policy::kHash;
+    r.shards = shards;
+    r.chunk_shift = chunk_shift;
+    return r;
+  }
+  static ShardRouter range(uint32_t shards, uint64_t span) {
+    ShardRouter r;
+    r.policy = Policy::kRange;
+    r.shards = shards;
+    r.span = span;
+    return r;
+  }
+
+  /// splitmix64 finalizer: a stable, well-mixed granule hash.
+  static uint64_t mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint32_t shard_of(uint64_t offset) const {
+    if (custom != nullptr) return custom(offset, custom_ctx) % shards;
+    if (policy == Policy::kRange) {
+      const uint64_t s = offset / span;
+      return s >= shards ? shards - 1 : static_cast<uint32_t>(s);
+    }
+    return static_cast<uint32_t>(mix(offset >> chunk_shift) % shards);
+  }
+
+  /// First offset after `offset` where the owning shard may change.
+  /// Local bulk accessors split ranges at these boundaries.
+  uint64_t next_boundary(uint64_t offset) const {
+    if (custom != nullptr) return offset + 1;  // no structure known
+    if (policy == Policy::kRange) return (offset / span + 1) * span;
+    return ((offset >> chunk_shift) + 1) << chunk_shift;
+  }
+};
+
+class ShardedGroup final : public ReplicationGroup {
+ public:
+  struct ShardStats {
+    uint64_t ops = 0;    ///< primitives routed to this shard
+    uint64_t bytes = 0;  ///< payload bytes routed to this shard
+  };
+  struct Stats {
+    uint64_t split_gwritevs = 0;  ///< cross-shard batches split/rejoined
+    uint64_t flush_broadcasts = 0;
+  };
+
+  /// Takes ownership of the child chains. Every child must expose the
+  /// same group_size and a region at least as large as the logical
+  /// region (identity addressing).
+  ShardedGroup(std::vector<std::unique_ptr<ReplicationGroup>> shards,
+               ShardRouter router);
+  ~ShardedGroup() override;
+
+  size_t group_size() const override;
+  uint64_t region_size() const override { return region_size_; }
+  void gwrite(uint64_t offset, uint32_t len, bool flush, Done done) override;
+  void gwritev(const ExtentVec& extents, bool flush, Done done) override;
+  void gmemcpy(uint64_t src_offset, uint64_t dst_offset, uint32_t len,
+               bool flush, Done done) override;
+  void gcas(uint64_t offset, uint64_t expected, uint64_t desired,
+            ExecMap exec_map, CasDone done) override;
+  void gflush(Done done) override;
+  void stop() override;
+  void client_store(uint64_t offset, const void* src, uint32_t len) override;
+  void client_load(uint64_t offset, void* dst, uint32_t len) const override;
+  void replica_load(size_t i, uint64_t offset, void* dst,
+                    uint32_t len) const override;
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  ReplicationGroup& shard(size_t s) { return *shards_[s]; }
+  const ReplicationGroup& shard(size_t s) const { return *shards_[s]; }
+  const ShardRouter& router() const { return router_; }
+  const ShardStats& shard_stats(size_t s) const { return shard_stats_[s]; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One cross-shard scatter-join in flight: the original done fires when
+  /// every per-shard sub-op has completed. Pooled with a LIFO free list;
+  /// child completions capture the slot *index*, never a pointer — the
+  /// pool vector may grow.
+  struct JoinOp {
+    uint32_t remaining = 0;
+    bool live = false;
+    Done done;
+  };
+
+  uint32_t route(uint64_t offset, uint32_t len) const;
+  uint32_t acquire_join();
+  void finish_join(uint32_t idx);
+
+  std::vector<std::unique_ptr<ReplicationGroup>> shards_;
+  ShardRouter router_;
+  uint64_t region_size_ = 0;
+  std::vector<JoinOp> join_ops_;
+  std::vector<uint32_t> join_free_;
+  std::vector<ShardStats> shard_stats_;
+  Stats stats_;
+};
+
+}  // namespace hyperloop::core

@@ -1,18 +1,13 @@
 #include "core/tcp_group.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstring>
+
+#include "core/buf_pool.h"
 
 namespace hyperloop::core {
 namespace {
-
-std::vector<uint8_t> pack(const void* hdr, size_t hdr_len,
-                          const std::vector<uint8_t>& data) {
-  std::vector<uint8_t> msg(hdr_len + data.size());
-  std::memcpy(msg.data(), hdr, hdr_len);
-  if (!data.empty()) std::memcpy(msg.data() + hdr_len, data.data(), data.size());
-  return msg;
-}
 
 uint32_t next_pow2(uint32_t v) {
   uint32_t p = 1;
@@ -77,11 +72,13 @@ void TcpReplicationGroup::stop() {
 
 void TcpReplicationGroup::on_replica_message(size_t i,
                                              std::vector<uint8_t> msg) {
-  if (stopped_) return;
+  if (stopped_) {
+    BufPool::release(std::move(msg));
+    return;
+  }
   assert(msg.size() >= sizeof(Header));
   Header hdr;
   std::memcpy(&hdr, msg.data(), sizeof(hdr));
-  std::vector<uint8_t> data(msg.begin() + sizeof(Header), msg.end());
 
   Replica& r = replicas_[i];
 
@@ -98,30 +95,41 @@ void TcpReplicationGroup::on_replica_message(size_t i,
                                        static_cast<double>(hdr.len));
   }
 
+  // The whole [Header][data] buffer travels intact: apply reads the data
+  // bytes in place and forward() re-sends the same vector, so a command's
+  // trip down the chain allocates nothing.
   r.server->sched().submit(
       r.pid, work,
-      [this, i, hdr, data = std::move(data)]() mutable {
-        if (stopped_) return;
+      [this, i, m = std::move(msg)]() mutable {
+        if (stopped_) {
+          BufPool::release(std::move(m));
+          return;
+        }
         Replica& rr = replicas_[i];
-        rdma::HostMemory& m = rr.server->mem();
-        Header h = hdr;
+        rdma::HostMemory& mem = rr.server->mem();
+        Header h;
+        std::memcpy(&h, m.data(), sizeof(h));
+        const uint8_t* data = m.data() + sizeof(Header);
         switch (h.type) {
           case 0: {  // gwrite: apply the carried bytes
-            if (h.len > 0) m.write(rr.data_base + h.offset, data.data(), h.len);
+            if (h.len > 0) mem.write(rr.data_base + h.offset, data, h.len);
             break;
           }
           case 1: {  // gmemcpy
-            m.copy(rr.data_base + h.dst, rr.data_base + h.offset, h.len);
+            mem.copy(rr.data_base + h.dst, rr.data_base + h.offset, h.len);
             break;
           }
           case 2: {  // gcas
             if ((h.exec_mask >> i) & 1u) {
               uint64_t old = 0;
-              m.read(rr.data_base + h.offset, &old, sizeof(old));
+              mem.read(rr.data_base + h.offset, &old, sizeof(old));
               if (old == h.expected) {
-                m.write(rr.data_base + h.offset, &h.desired, sizeof(h.desired));
+                mem.write(rr.data_base + h.offset, &h.desired,
+                          sizeof(h.desired));
               }
-              h.result[i] = old;
+              // Patch the answer into the traveling message.
+              std::memcpy(m.data() + offsetof(Header, result) + i * 8, &old,
+                          8);
             }
             break;
           }
@@ -135,30 +143,38 @@ void TcpReplicationGroup::on_replica_message(size_t i,
         // this is what lets callers batch unflushed ops under one trailing
         // flushed op (e.g. the WAL's execute batch).
         if (h.flush != 0) rr.server->nvm().persist_all();
-        forward(i, h, std::move(data));
+        forward(i, std::move(m));
       },
       /*fresh_wakeup=*/false);
 }
 
-void TcpReplicationGroup::forward(size_t i, Header hdr,
-                                  std::vector<uint8_t> data) {
+void TcpReplicationGroup::forward(size_t i, std::vector<uint8_t> msg) {
   Replica& r = replicas_[i];
   if (i + 1 < replicas_.size()) {
-    hdr.hop = static_cast<uint16_t>(i + 1);
+    // Rewrite the hop field in place and pass the same buffer down.
+    const uint16_t hop = static_cast<uint16_t>(i + 1);
+    std::memcpy(msg.data() + offsetof(Header, hop), &hop, sizeof(hop));
     r.server->tcp().send(r.pid, replicas_[i + 1].server->nic().id(),
-                         cfg_.port, pack(&hdr, sizeof(hdr), data));
+                         cfg_.port, std::move(msg));
   } else {
     // Tail ACKs the client; no need to carry the data back.
+    std::vector<uint8_t> ack = BufPool::acquire(sizeof(Header));
+    std::memcpy(ack.data(), msg.data(), sizeof(Header));
+    BufPool::release(std::move(msg));
     r.server->tcp().send(r.pid, client_.nic().id(), cfg_.port,
-                         pack(&hdr, sizeof(hdr), {}));
+                         std::move(ack));
   }
 }
 
 void TcpReplicationGroup::on_client_ack(std::vector<uint8_t> msg) {
-  if (stopped_) return;
+  if (stopped_) {
+    BufPool::release(std::move(msg));
+    return;
+  }
   assert(msg.size() >= sizeof(Header));
   Header hdr;
   std::memcpy(&hdr, msg.data(), sizeof(hdr));
+  BufPool::release(std::move(msg));
   PendingSlot& slot = pending_[hdr.seq & pending_mask_];
   if (!slot.live || slot.seq != hdr.seq) return;
   slot.live = false;
@@ -199,10 +215,13 @@ void TcpReplicationGroup::issue(Header hdr, Done done, CasDone cas_done) {
   slot.done = std::move(done);
   slot.cas_done = std::move(cas_done);
 
-  std::vector<uint8_t> data;
-  if (hdr.type == 0 && hdr.len > 0) {
-    data.resize(hdr.len);
-    client_.mem().read(client_region_ + hdr.offset, data.data(),
+  // Frame the command directly into a pooled buffer: [Header][data].
+  const uint64_t payload = hdr.type == 0 ? hdr.len : 0;
+  std::vector<uint8_t> msg = BufPool::acquire(sizeof(Header) + payload);
+  std::memcpy(msg.data(), &hdr, sizeof(hdr));
+  if (payload > 0) {
+    client_.mem().read(client_region_ + hdr.offset,
+                       msg.data() + sizeof(Header),
                        static_cast<uint32_t>(hdr.len));
   } else if (hdr.type == 1) {
     client_.mem().copy(client_region_ + hdr.dst, client_region_ + hdr.offset,
@@ -210,12 +229,12 @@ void TcpReplicationGroup::issue(Header hdr, Done done, CasDone cas_done) {
     client_.nvm().persist(client_region_ + hdr.dst,
                           static_cast<uint32_t>(hdr.len));
   }
-  send_cmd(hdr, std::move(data));
+  send_cmd(std::move(msg));
 }
 
-void TcpReplicationGroup::send_cmd(Header hdr, std::vector<uint8_t> data) {
+void TcpReplicationGroup::send_cmd(std::vector<uint8_t> msg) {
   client_.tcp().send(client_pid_, replicas_.front().server->nic().id(),
-                     cfg_.port, pack(&hdr, sizeof(hdr), data));
+                     cfg_.port, std::move(msg));
 }
 
 void TcpReplicationGroup::gwrite(uint64_t offset, uint32_t len, bool flush,

@@ -102,11 +102,11 @@ class TcpReplicationGroup final : public ReplicationGroup {
   };
 
   void on_replica_message(size_t i, std::vector<uint8_t> msg);
-  void forward(size_t i, Header hdr, std::vector<uint8_t> data);
+  void forward(size_t i, std::vector<uint8_t> msg);
   void on_client_ack(std::vector<uint8_t> msg);
   void submit(Header hdr, Done done, CasDone cas_done);
   void issue(Header hdr, Done done, CasDone cas_done);
-  void send_cmd(Header hdr, std::vector<uint8_t> data);
+  void send_cmd(std::vector<uint8_t> msg);
 
   Server& client_;
   std::vector<Replica> replicas_;

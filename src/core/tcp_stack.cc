@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/buf_pool.h"
+
 namespace hyperloop::core {
 namespace {
 
@@ -38,9 +40,10 @@ void TcpStack::send(sim::ProcessId sender_proc, rdma::NicId dst,
   sched_.submit(sender_proc, cpu,
                 [this, dst, port, d = std::move(data)]() mutable {
                   DgramHeader h{port, 0};
-                  std::vector<uint8_t> wire(sizeof(h) + d.size());
+                  std::vector<uint8_t> wire = BufPool::acquire(sizeof(h) + d.size());
                   std::memcpy(wire.data(), &h, sizeof(h));
                   std::memcpy(wire.data() + sizeof(h), d.data(), d.size());
+                  BufPool::release(std::move(d));
                   ++sent_;
                   net_.transmit_datagram(nic_id_, dst, std::move(wire));
                 });
@@ -60,9 +63,10 @@ void TcpStack::send_many(sim::ProcessId sender_proc,
   sched_.submit(sender_proc, cpu, [this, ms = std::move(msgs)]() mutable {
     for (Dgram& m : ms) {
       DgramHeader h{m.port, 0};
-      std::vector<uint8_t> wire(sizeof(h) + m.data.size());
+      std::vector<uint8_t> wire = BufPool::acquire(sizeof(h) + m.data.size());
       std::memcpy(wire.data(), &h, sizeof(h));
       std::memcpy(wire.data() + sizeof(h), m.data.data(), m.data.size());
+      BufPool::release(std::move(m.data));
       ++sent_;
       net_.transmit_datagram(nic_id_, m.dst, std::move(wire));
     }
@@ -75,20 +79,24 @@ void TcpStack::on_datagram(rdma::NicId src, std::vector<uint8_t> bytes) {
   std::memcpy(&h, bytes.data(), sizeof(h));
   auto it = listeners_.find(h.dst_port);
   assert(it != listeners_.end() && "datagram for un-bound port");
-  Listener& l = it->second;
+  // Listener nodes are map-stable and never unbound, so the deferred
+  // delivery captures a pointer instead of copying the std::function (a
+  // per-message heap allocation the baseline shouldn't pay).
+  const Listener* l = &it->second;
 
-  std::vector<uint8_t> payload(bytes.begin() + sizeof(h), bytes.end());
+  // Strip the wire header in place and hand the same buffer up — no
+  // payload copy, no allocation.
+  bytes.erase(bytes.begin(), bytes.begin() + sizeof(h));
   const auto cpu =
       cfg_.recv_cpu_base +
       static_cast<sim::Duration>(cfg_.recv_cpu_ns_per_byte *
-                                 static_cast<double>(payload.size()));
+                                 static_cast<double>(bytes.size()));
   ++received_;
   // Receive path: the listener's process is woken and charged before the
   // application handler runs — the multi-tenant pain point.
-  sched_.submit(l.proc, cpu,
-                [handler = l.handler, src, port = h.dst_port,
-                 p = std::move(payload)]() mutable {
-                  handler(src, port, std::move(p));
+  sched_.submit(l->proc, cpu,
+                [l, src, port = h.dst_port, p = std::move(bytes)]() mutable {
+                  l->handler(src, port, std::move(p));
                 });
 }
 

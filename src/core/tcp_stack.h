@@ -29,7 +29,10 @@ class TcpStack {
     double recv_cpu_ns_per_byte = 0.25;
   };
 
-  /// Handler receives (source NIC, source port, message bytes).
+  /// Handler receives (source NIC, source port, message bytes). Message
+  /// buffers come from BufPool; a handler that consumes one should
+  /// BufPool::release it (or pass it onward) so steady-state traffic
+  /// recycles instead of allocating.
   using Handler =
       std::function<void(rdma::NicId, uint16_t, std::vector<uint8_t>)>;
 

@@ -12,7 +12,7 @@ ReplicatedWal::ReplicatedWal(ReplicationGroup& group, RegionLayout layout,
                              Options opts)
     : group_(group), layout_(layout), opts_(opts) {
   assert(layout_.valid());
-  assert(layout_.region_size <= group.region_size());
+  assert(layout_.base + layout_.region_size <= group.region_size());
   assert(opts_.staged_capacity >= 1);
 }
 
@@ -155,9 +155,8 @@ void ReplicatedWal::maybe_flush() {
   // The tail rides as the *last* extent: extents land in list order, and
   // each hop's gFLUSH persists them atomically, so the durable tail never
   // runs ahead of the record bodies it commits.
-  group_.client_store(RegionLayout::kControlBase + RegionLayout::kTailOffset,
-                      &batch_tail, 8);
-  ext.push_back({RegionLayout::kControlBase + RegionLayout::kTailOffset, 8});
+  group_.client_store(layout_.tail_ptr_offset(), &batch_tail, 8);
+  ext.push_back({layout_.tail_ptr_offset(), 8});
 
   ++stats_.gwritev_batches;
   records_per_gwrite_.record(inflight_count_);
@@ -190,8 +189,8 @@ void ReplicatedWal::on_batch_done() {
 
 void ReplicatedWal::write_pointer(uint64_t ctrl_offset, uint64_t value,
                                   sim::SmallFn<void(), kDoneCap> done) {
-  group_.client_store(RegionLayout::kControlBase + ctrl_offset, &value, 8);
-  group_.gwrite(RegionLayout::kControlBase + ctrl_offset, 8, /*flush=*/true,
+  group_.client_store(layout_.control_base() + ctrl_offset, &value, 8);
+  group_.gwrite(layout_.control_base() + ctrl_offset, 8, /*flush=*/true,
                 std::move(done));
 }
 
@@ -304,13 +303,53 @@ bool ReplicatedWal::execute_and_advance(Done done) {
 }
 
 void ReplicatedWal::reload_pointers() {
-  group_.client_load(RegionLayout::kControlBase + RegionLayout::kHeadOffset,
-                     &head_, 8);
-  group_.client_load(RegionLayout::kControlBase + RegionLayout::kTailOffset,
-                     &tail_, 8);
+  group_.client_load(layout_.head_ptr_offset(), &head_, 8);
+  group_.client_load(layout_.tail_ptr_offset(), &tail_, 8);
   // The recovered tail came from the durable control region, so every
   // record below it is committed and replicated by definition.
   durable_tail_ = tail_;
+}
+
+ShardedWal::ShardedWal(ReplicationGroup& group, RegionLayout slice,
+                       uint32_t shards, ReplicatedWal::Options opts) {
+  assert(shards >= 1);
+  assert(slice.base == 0 && "pass the shard-0 slice; bases are derived");
+  assert(uint64_t{shards} * slice.region_size <= group.region_size());
+  wals_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    wals_.push_back(
+        std::make_unique<ReplicatedWal>(group, slice.shard_slice(s), opts));
+  }
+}
+
+bool ShardedWal::append(std::span<const Entry> entries, AppendDone done) {
+  // Keyless appends spread across segments round-robin. Like the
+  // single-segment append, a false return means backpressure (that
+  // segment's log or group-commit window is full) and consumes `done`;
+  // callers retry exactly as they would against one ReplicatedWal.
+  const uint32_t s = rr_;
+  rr_ = (rr_ + 1) % shards();
+  return wals_[s]->append(entries, std::move(done));
+}
+
+uint64_t ShardedWal::used_bytes() const {
+  uint64_t total = 0;
+  for (const auto& w : wals_) total += w->used_bytes();
+  return total;
+}
+
+ReplicatedWal::Stats ShardedWal::totals() const {
+  ReplicatedWal::Stats t;
+  for (const auto& w : wals_) {
+    const ReplicatedWal::Stats& s = w->stats();
+    t.records_appended += s.records_appended;
+    t.records_executed += s.records_executed;
+    t.bytes_appended += s.bytes_appended;
+    t.append_failures += s.append_failures;
+    t.gwritev_batches += s.gwritev_batches;
+    t.exec_batches += s.exec_batches;
+  }
+  return t;
 }
 
 }  // namespace hyperloop::core

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -240,12 +241,63 @@ class ReplicatedWal {
   stats::Histogram commit_latency_;
 };
 
+/// Shard-per-log-segment mode (DESIGN.md "Sharded datapath"): K
+/// independent ReplicatedWals over one group, segment `s` owning slice
+/// `s` of the region (`layout.shard_slice(s)`). Under a ShardedGroup
+/// with a range router whose span equals the slice size, each segment's
+/// records, tail writes and execute gMEMCPYs ride their own chain —
+/// K group-commit pipelines instead of one. LSNs are per-segment.
+class ShardedWal {
+ public:
+  using Entry = ReplicatedWal::Entry;
+  using AppendDone = ReplicatedWal::AppendDone;
+  using Done = ReplicatedWal::Done;
+
+  /// `slice` is the shard-0 layout (base must be 0); segment `s` uses
+  /// `slice.shard_slice(s)`.
+  ShardedWal(ReplicationGroup& group, RegionLayout slice, uint32_t shards)
+      : ShardedWal(group, slice, shards, ReplicatedWal::Options{}) {}
+  ShardedWal(ReplicationGroup& group, RegionLayout slice, uint32_t shards,
+             ReplicatedWal::Options opts);
+
+  uint32_t shards() const { return static_cast<uint32_t>(wals_.size()); }
+  ReplicatedWal& shard(size_t s) { return *wals_[s]; }
+  const ReplicatedWal& shard(size_t s) const { return *wals_[s]; }
+
+  /// Appends to segment `s` (callers with a partition key route here).
+  bool append_to(uint32_t s, std::span<const Entry> entries,
+                 AppendDone done) {
+    return wals_[s]->append(entries, std::move(done));
+  }
+  bool append_to(uint32_t s, std::initializer_list<Entry> entries,
+                 AppendDone done) {
+    return append_to(s, std::span<const Entry>(entries.begin(), entries.size()),
+                     std::move(done));
+  }
+  /// Keyless appends spread round-robin across segments.
+  bool append(std::span<const Entry> entries, AppendDone done);
+  bool append(std::initializer_list<Entry> entries, AppendDone done) {
+    return append(std::span<const Entry>(entries.begin(), entries.size()),
+                  std::move(done));
+  }
+  bool execute_and_advance(uint32_t s, Done done) {
+    return wals_[s]->execute_and_advance(std::move(done));
+  }
+
+  uint64_t used_bytes() const;  ///< summed over segments
+  ReplicatedWal::Stats totals() const;
+
+ private:
+  std::vector<std::unique_ptr<ReplicatedWal>> wals_;
+  uint32_t rr_ = 0;
+};
+
 template <typename LoadFn, typename StoreFn>
 uint64_t ReplicatedWal::replay(const RegionLayout& layout, LoadFn&& load,
                                StoreFn&& store) {
   uint64_t head = 0, tail = 0;
-  load(RegionLayout::kControlBase + RegionLayout::kHeadOffset, &head, 8);
-  load(RegionLayout::kControlBase + RegionLayout::kTailOffset, &tail, 8);
+  load(layout.head_ptr_offset(), &head, 8);
+  load(layout.tail_ptr_offset(), &tail, 8);
 
   auto phys = [&](uint64_t v) {
     return layout.log_base() + (v % layout.log_size);
@@ -253,6 +305,10 @@ uint64_t ReplicatedWal::replay(const RegionLayout& layout, LoadFn&& load,
 
   uint64_t applied = 0;
   uint64_t v = head;
+  // Streaming scratch: records are verified and applied through this
+  // fixed chunk, so replay's footprint is O(1) instead of O(record).
+  uint8_t chunk[512];
+  constexpr uint32_t kChunk = sizeof(chunk);
   while (v < tail) {
     RecordHeader hdr;
     load(phys(v), &hdr, sizeof(hdr));
@@ -264,19 +320,29 @@ uint64_t ReplicatedWal::replay(const RegionLayout& layout, LoadFn&& load,
         v + hdr.total_len > tail) {
       break;  // torn tail; committed prefix ends here
     }
-    // Verify the checksum before applying.
+    // Pass 1: fold the body through the CRC chunk by chunk.
     const uint32_t body = hdr.total_len - sizeof(RecordHeader);
-    std::vector<uint8_t> buf(body);
-    load(phys(v + sizeof(RecordHeader)), buf.data(), body);
-    if (crc32(buf.data(), body) != hdr.crc) break;
-
-    const uint8_t* p = buf.data();
+    uint32_t crc = 0xFFFFFFFFu;
+    for (uint32_t off = 0; off < body;) {
+      const uint32_t n = body - off < kChunk ? body - off : kChunk;
+      load(phys(v + sizeof(RecordHeader) + off), chunk, n);
+      crc = crc32_update(crc, chunk, n);
+      off += n;
+    }
+    if (~crc != hdr.crc) break;
+    // Pass 2: walk the entries, streaming each one's bytes to the store.
+    uint64_t p = v + sizeof(RecordHeader);
     for (uint32_t i = 0; i < hdr.num_entries; ++i) {
       EntryHeader eh;
-      std::memcpy(&eh, p, sizeof(eh));
+      load(phys(p), &eh, sizeof(eh));
       p += sizeof(eh);
-      store(layout.db_base() + eh.db_offset, p, eh.len);
-      p += (eh.len + 7) & ~size_t{7};
+      for (uint32_t off = 0; off < eh.len;) {
+        const uint32_t n = eh.len - off < kChunk ? eh.len - off : kChunk;
+        load(phys(p + off), chunk, n);
+        store(layout.db_base() + eh.db_offset + off, chunk, n);
+        off += n;
+      }
+      p += (eh.len + 7) & ~uint64_t{7};
     }
     ++applied;
     v += hdr.total_len;

@@ -72,8 +72,10 @@ void Nic::destroy_qp(QueuePair* q) {
   if (q->waiting_cqn != 0) unlink_waiter(q);
   q->on_dma_watch = false;  // dma_watch_ entry is cleaned up lazily
   if (q->srq != nullptr) detach_srq(q);
-  auto it = std::find(qp_cache_mru_.begin(), qp_cache_mru_.end(), q->qpn);
-  if (it != qp_cache_mru_.end()) qp_cache_mru_.erase(it);
+  if (q->ctx_cache_slot >= 0) {
+    qp_cache_slots_[static_cast<size_t>(q->ctx_cache_slot)] = QpCacheSlot{};
+    q->ctx_cache_slot = -1;
+  }
   qps_.erase(q->qpn);
 }
 
@@ -208,25 +210,54 @@ void Nic::engine_step(QueuePair* qp, sim::Duration lead) {
     }
     ++qp->sq_head;
     ++counters_.wqes_executed;
+    // Re-resolve through the generation-tagged table at fire time: a
+    // destroy_qp between schedule and fire (e.g. group teardown with a
+    // chain mid-traversal) must drop the WQE, not chase a freed QP.
     loop_.schedule_after(lead + cfg_.wqe_cost + qp_context_touch(qp->qpn),
-                         [this, qp, w] { execute(qp, w); });
+                         [this, qpn = qp->qpn, w] {
+                           if (QueuePair* q = qps_.get(qpn)) execute(q, w);
+                         });
     return;
   }
 }
 
 sim::Duration Nic::qp_context_touch(uint32_t qpn) {
   if (cfg_.qp_cache_entries == 0) return 0;
-  auto it = std::find(qp_cache_mru_.begin(), qp_cache_mru_.end(), qpn);
-  if (it != qp_cache_mru_.end()) {
-    qp_cache_mru_.erase(it);
-    qp_cache_mru_.insert(qp_cache_mru_.begin(), qpn);
+  QueuePair* q = qps_.get(qpn);
+  if (q == nullptr) {
+    // Stale packet for a destroyed QP: charge the fetch, pin nothing.
+    ++counters_.qp_cache_misses;
+    return cfg_.qp_cache_miss_cost;
+  }
+  if (q->ctx_cache_slot >= 0) {
+    qp_cache_slots_[static_cast<size_t>(q->ctx_cache_slot)].ref = 1;
     ++counters_.qp_cache_hits;
     return 0;
   }
-  qp_cache_mru_.insert(qp_cache_mru_.begin(), qpn);
-  if (qp_cache_mru_.size() > cfg_.qp_cache_entries) qp_cache_mru_.pop_back();
   ++counters_.qp_cache_misses;
-  return cfg_.qp_cache_miss_cost;
+  // Miss: install via clock (second-chance) replacement — O(1) amortized,
+  // no list walk, regardless of how many QPs the NIC hosts.
+  if (qp_cache_slots_.size() < cfg_.qp_cache_entries) {
+    q->ctx_cache_slot = static_cast<int32_t>(qp_cache_slots_.size());
+    qp_cache_slots_.push_back(QpCacheSlot{qpn, 1, true});
+    return cfg_.qp_cache_miss_cost;
+  }
+  for (;;) {
+    QpCacheSlot& s = qp_cache_slots_[qp_clock_hand_];
+    const uint32_t hand = qp_clock_hand_;
+    qp_clock_hand_ = (qp_clock_hand_ + 1) %
+                     static_cast<uint32_t>(qp_cache_slots_.size());
+    if (s.live && s.ref != 0) {
+      s.ref = 0;  // second chance
+      continue;
+    }
+    if (s.live) {
+      if (QueuePair* old = qps_.get(s.qpn)) old->ctx_cache_slot = -1;
+    }
+    s = QpCacheSlot{qpn, 1, true};
+    q->ctx_cache_slot = static_cast<int32_t>(hand);
+    return cfg_.qp_cache_miss_cost;
+  }
 }
 
 void Nic::execute(QueuePair* qp, const Wqe& w) {

@@ -72,9 +72,11 @@ class Nic {
     uint32_t rnr_retry_limit = 7;
     /// On-NIC connection-context cache (§7: "the scalability of RDMA NICs
     /// decreases with the number of active write-QPs"). Touching a QP
-    /// outside the `qp_cache_entries` most-recently-used contexts fetches
-    /// the context from host memory, costing `qp_cache_miss_cost`.
-    /// 0 disables the model (infinite cache).
+    /// whose context is not resident fetches it from host memory, costing
+    /// `qp_cache_miss_cost`. Residency is tracked by a clock (second-
+    /// chance) replacement over `qp_cache_entries` slots with O(1)
+    /// lookups via a per-QP backpointer — behaviorally LRU-like without
+    /// the per-touch list walk. 0 disables the model (infinite cache).
     uint32_t qp_cache_entries = 0;
     sim::Duration qp_cache_miss_cost = sim::nsec(400);
   };
@@ -193,6 +195,11 @@ class Nic {
   QueuePair* qp(uint32_t qpn) { return qps_.get(qpn); }
   CompletionQueue* cq(uint32_t id) { return cqs_.get(id); }
 
+  /// Context-fetch cost for touching `qpn` (0 on a cache hit); promotes
+  /// the context to resident. Exposed for the scalability microbenches —
+  /// the data path calls it on every WQE execution and packet receive.
+  sim::Duration qp_context_touch(uint32_t qpn);
+
  private:
   // --- send-side engine ---
   void kick(QueuePair* qp);
@@ -228,10 +235,6 @@ class Nic {
   // just written by a DMA. Scans only dma_watch_ (the stalled QPs), not
   // the whole QP table.
   void after_dma_write(Addr addr, size_t len);
-
-  // Returns the context-fetch cost for touching `qpn` (0 on a cache hit)
-  // and promotes it to most-recently-used.
-  sim::Duration qp_context_touch(uint32_t qpn);
 
   // --- RC transport ---
   // Records the outgoing request in the QP's retransmit window (with its
@@ -277,7 +280,15 @@ class Nic {
   /// removed lazily (QueuePair::on_dma_watch is authoritative).
   std::vector<uint32_t> dma_watch_;
   std::vector<uint32_t> dma_watch_scratch_;
-  std::vector<uint32_t> qp_cache_mru_;  ///< front = most recently used
+
+  /// One resident context in the connection-context cache.
+  struct QpCacheSlot {
+    uint32_t qpn = 0;
+    uint8_t ref = 0;  ///< clock reference bit (set on touch)
+    bool live = false;
+  };
+  std::vector<QpCacheSlot> qp_cache_slots_;  ///< grows up to qp_cache_entries
+  uint32_t qp_clock_hand_ = 0;
 };
 
 }  // namespace hyperloop::rdma

@@ -127,6 +127,11 @@ struct QueuePair {
   /// requester-only QPs never pay for it.
   std::vector<CachedResponse> resp_cache;
 
+  /// Index of this QP's slot in the NIC's connection-context cache
+  /// (-1 = not resident). Backpointer makes every cache touch O(1);
+  /// maintained by Nic::qp_context_touch / destroy_qp.
+  int32_t ctx_cache_slot = -1;
+
   /// Address of the slot holding WQE sequence `seq`.
   Addr slot_addr(uint64_t seq) const {
     return sq_base + (seq % sq_slots) * sizeof(Wqe);
