@@ -19,6 +19,7 @@
 #include "core/naive_group.h"
 #include "core/server.h"
 #include "core/sharded_group.h"
+#include "core/sharded_reader.h"
 #include "core/tcp_group.h"
 #include "stats/histogram.h"
 #include "stats/table.h"
@@ -169,6 +170,36 @@ inline std::unique_ptr<core::ShardedGroup> make_sharded_group(
   }
   return std::make_unique<core::ShardedGroup>(
       std::move(kids), core::ShardRouter::range(shards, slice_size));
+}
+
+/// Builds a ShardedReader over the chains of a ShardedGroup produced by
+/// make_sharded_group: one RemoteReader per shard whose targets are every
+/// replica of that chain (indexed by chain position, so policy picks can
+/// be read-locked), with the reader's QPs on the chain's NIC and the
+/// group's own router doing the partitioning.
+inline std::unique_ptr<core::ShardedReader> make_sharded_reader(
+    core::ShardedGroup& sg, Server& client,
+    core::RemoteReader::Policy policy =
+        core::RemoteReader::Policy::kRoundRobin,
+    uint32_t slots = 32, uint32_t slot_size = 16384) {
+  std::vector<std::unique_ptr<core::RemoteReader>> readers;
+  for (uint32_t s = 0; s < sg.shards(); ++s) {
+    auto& hl = static_cast<core::HyperLoopGroup&>(sg.shard(s));
+    std::vector<core::RemoteReader::Target> targets;
+    for (size_t i = 0; i < hl.group_size(); ++i) {
+      targets.push_back({&hl.replica_server(i), hl.replica_region_base(i),
+                         hl.replica_data_rkey(i)});
+    }
+    core::RemoteReader::Options opts;
+    opts.slots = slots;
+    opts.slot_size = slot_size;
+    opts.policy = policy;
+    opts.nic_index = s;
+    readers.push_back(std::make_unique<core::RemoteReader>(
+        client, std::move(targets), opts));
+  }
+  return std::make_unique<core::ShardedReader>(std::move(readers),
+                                               sg.router());
 }
 
 /// Runs a closed-loop latency benchmark: `ops` sequential operations, each

@@ -55,30 +55,30 @@ def load_items_per_second(path):
     return out, counters, build_type
 
 
-def check_shard_scaling(counters, min_ratio):
-    """Gates the 4-shard/1-shard simulated-throughput ratio.
+def check_shard_scaling(counters, bench, min_ratio, what):
+    """Gates a benchmark's 4-shard/1-shard simulated-throughput ratio.
 
-    Returns an error string, or None. Enforced only when both
-    BM_ShardedThroughput/1 and /4 are present (older dumps predate the
-    bench); a dump that has the benches but lost the counter is an error,
-    not a silent pass.
+    Returns an error string, or None. Enforced only when both {bench}/1
+    and {bench}/4 are present (older dumps predate the bench); a dump
+    that has the benches but lost the counter is an error, not a silent
+    pass.
     """
-    one = counters.get("BM_ShardedThroughput/1")
-    four = counters.get("BM_ShardedThroughput/4")
+    one = counters.get(f"{bench}/1")
+    four = counters.get(f"{bench}/4")
     if one is None or four is None:
         return None
     try:
         ratio = four["sim_items_per_sec"] / one["sim_items_per_sec"]
     except KeyError:
-        return ("BM_ShardedThroughput present but missing the "
-                "sim_items_per_sec counter — stale perf_selfcheck binary?")
-    print(f"\nsharded scaling: 4-shard {four['sim_items_per_sec']:.0f} / "
+        return (f"{bench} present but missing the "
+                f"sim_items_per_sec counter — stale perf_selfcheck binary?")
+    print(f"\n{what}: 4-shard {four['sim_items_per_sec']:.0f} / "
           f"1-shard {one['sim_items_per_sec']:.0f} sim items/s "
           f"= {ratio:.2f}x (floor {min_ratio:.2f}x)")
     if ratio < min_ratio:
-        return (f"4-shard simulated throughput is only {ratio:.2f}x the "
-                f"1-shard run (floor {min_ratio:.2f}x) — sharding no "
-                f"longer scales past the single-chain ceiling")
+        return (f"{bench}: 4-shard simulated throughput is only "
+                f"{ratio:.2f}x the 1-shard run (floor {min_ratio:.2f}x) — "
+                f"sharding no longer scales past the single-chain ceiling")
     return None
 
 
@@ -112,6 +112,9 @@ def main():
     ap.add_argument("--shard-scaling", type=float, default=1.8,
                     help="min candidate 4-shard/1-shard sim_items_per_sec "
                          "ratio for BM_ShardedThroughput")
+    ap.add_argument("--scan-scaling", type=float, default=1.8,
+                    help="min candidate 4-shard/1-shard sim_items_per_sec "
+                         "ratio for BM_ShardedScan (the read datapath)")
     args = ap.parse_args()
 
     base, _, base_build = load_items_per_second(args.baseline)
@@ -145,18 +148,24 @@ def main():
         print(f"{name:<{width}} {base[name]:>14.0f} {cand[name]:>14.0f} "
               f"{delta:>+7.1%}{flag}")
 
-    scaling_err = check_shard_scaling(cand_counters, args.shard_scaling)
+    scaling_errs = [err for err in (
+        check_shard_scaling(cand_counters, "BM_ShardedThroughput",
+                            args.shard_scaling, "sharded scaling"),
+        check_shard_scaling(cand_counters, "BM_ShardedScan",
+                            args.scan_scaling, "scan scaling"),
+    ) if err]
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%}:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
-        if scaling_err:
-            print(f"FAIL: {scaling_err}")
+        for err in scaling_errs:
+            print(f"FAIL: {err}")
         return 1
-    if scaling_err:
-        print(f"\nFAIL: {scaling_err}")
+    if scaling_errs:
+        for err in scaling_errs:
+            print(f"\nFAIL: {err}")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
     return 0

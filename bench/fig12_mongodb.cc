@@ -1,5 +1,5 @@
 // Figure 12: MongoDB (our DocStore) latency distribution across YCSB
-// workloads A, B, D, E, F — native (kernel-TCP) replication vs
+// workloads A, B, C, D, E, F — native (kernel-TCP) replication vs
 // HyperLoop-enabled replication, with 10:1 co-located tenants.
 //
 // Paper's shape: HyperLoop cuts insert/update average latency by ~79%,
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
                                    "p99(ms)", "writes avg(ms)",
                                    "writes p99(ms)", "backup CPU(%)"});
 
-    for (char w : {'A', 'B', 'D', 'E', 'F'}) {
+    for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
       // Primary (front end) on server 0; backups on servers 1 and 2.
       auto cluster = make_cluster(2, 1000 + which * 100 + w);
       // In this experiment server index 2 (the last) hosts the client

@@ -12,11 +12,6 @@ DocStore::DocStore(core::ReplicationGroup& group, core::Server& client,
     : group_(group), client_(client), cfg_(cfg) {
   assert(cfg_.shards >= 1);
   assert(cfg_.layout.base == 0 && "pass the shard-0 slice layout");
-  // Replica reads address one replica's whole region; with shards the
-  // slots live in per-shard slices served by different chains, which the
-  // single RemoteReader does not span.
-  assert((!cfg_.read_from_replica || cfg_.shards == 1) &&
-         "replica reads are single-shard only");
   shards_.reserve(cfg_.shards);
   for (uint32_t s = 0; s < cfg_.shards; ++s) {
     Shard sh;
@@ -69,21 +64,41 @@ void DocStore::update(uint64_t key, std::vector<uint8_t> value, Done done) {
   write_doc(key, std::move(value), std::move(done));
 }
 
-void DocStore::finish_read(uint64_t key, ReadDone done) {
+size_t DocStore::pick_read_replica(uint64_t key) {
+  if (!cfg_.read_from_replica) return 0;
+  if (sreader_ != nullptr) {
+    const Shard& sh = shards_[shard_of(key)];
+    const uint64_t off = sh.layout.db_base() + slot_offset(key);
+    return sreader_->shard(sreader_->router().shard_of(off)).next_replica();
+  }
+  return cfg_.read_replica;
+}
+
+void DocStore::finish_read(uint64_t key, size_t replica, ReadDone done) {
   const Shard& sh = shards_[shard_of(key)];
-  if (cfg_.read_from_replica && reader_ != nullptr) {
-    reader_->read(sh.layout.db_base() + slot_offset(key),
-                  static_cast<uint32_t>(slot_stride()),
-                  [done = std::move(done)](std::vector<uint8_t> doc) mutable {
-                    uint32_t len = 0;
-                    std::memcpy(&len, doc.data() + 8, 4);
-                    if (len == 0) {
-                      done(false, {});
-                      return;
-                    }
-                    done(true, std::vector<uint8_t>(doc.begin() + 16,
-                                                    doc.begin() + 16 + len));
-                  });
+  if (cfg_.read_from_replica && (sreader_ != nullptr || reader_ != nullptr)) {
+    assert((cfg_.shards == 1 || sreader_ != nullptr) &&
+           "multi-shard replica reads need a ShardedReader");
+    const uint32_t vsize = cfg_.value_size;
+    core::ReadDone handle =
+        [done = std::move(done), vsize](core::ReadView doc) mutable {
+          uint32_t len = 0;
+          std::memcpy(&len, doc.data() + 8, 4);
+          if (len == 0 || len > vsize) {
+            done(false, {});
+            return;
+          }
+          done(true, std::vector<uint8_t>(doc.begin() + 16,
+                                          doc.begin() + 16 + len));
+        };
+    const uint64_t off = sh.layout.db_base() + slot_offset(key);
+    const auto len = static_cast<uint32_t>(slot_stride());
+    if (sreader_ != nullptr) {
+      sreader_->read_from(replica, off, len, std::move(handle));
+    } else {
+      // Legacy single-target reader: target 0 is cfg_.read_replica.
+      reader_->read_from(0, off, len, std::move(handle));
+    }
     return;
   }
   uint32_t len = 0;
@@ -102,13 +117,14 @@ void DocStore::read(uint64_t key, ReadDone done) {
   client_.sched().submit(
       client_pid_, cfg_.op_cpu,
       [this, key, done = std::move(done)]() mutable {
+        // Pick the replica first: the read lock must land on the same
+        // replica the one-sided read will observe.
+        const size_t replica = pick_read_replica(key);
         if (!cfg_.use_read_locks) {
-          finish_read(key, std::move(done));
+          finish_read(key, replica, std::move(done));
           return;
         }
         Shard& sh = shards_[shard_of(key)];
-        const size_t replica =
-            cfg_.read_from_replica ? cfg_.read_replica : 0;
         sh.locks->rd_lock(
             stripe(key), replica,
             [this, key, replica, done = std::move(done)](bool ok) mutable {
@@ -117,7 +133,7 @@ void DocStore::read(uint64_t key, ReadDone done) {
                 return;
               }
               finish_read(
-                  key,
+                  key, replica,
                   [this, key, replica, done = std::move(done)](
                       bool ok2, std::vector<uint8_t> v) mutable {
                     shards_[shard_of(key)].locks->rd_unlock(
@@ -131,12 +147,62 @@ void DocStore::read(uint64_t key, ReadDone done) {
       });
 }
 
+void DocStore::remote_scan(uint64_t key, int count, Done done) {
+  // Cross-slice scatter scan: each shard's slots for [key, key + count)
+  // are one contiguous DB-area range (keys stripe k % shards, so shard
+  // s's covered keys sit in consecutive local slots). One extent per
+  // shard, one batched scatter readv — instead of `count` client-side
+  // slice hops. Lock-free snapshot read, like the local path.
+  core::ReadVec v;
+  const uint64_t stride = slot_stride();
+  const auto kcount = static_cast<uint64_t>(count);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    const uint64_t first =
+        key + (s + cfg_.shards - key % cfg_.shards) % cfg_.shards;
+    if (first >= key + kcount) continue;
+    uint64_t n = (key + kcount - 1 - first) / cfg_.shards + 1;
+    const uint64_t l0 = first / cfg_.shards;
+    const core::RegionLayout& lay = shards_[s].layout;
+    const uint64_t max_slots = lay.db_size() / stride;
+    if (l0 >= max_slots) continue;
+    n = std::min(n, max_slots - l0);
+    v.push_back(core::ReadExtent{lay.db_base() + l0 * stride,
+                                 static_cast<uint32_t>(n * stride)});
+  }
+  if (v.empty()) {
+    done(false);
+    return;
+  }
+  const uint32_t vsize = cfg_.value_size;
+  sreader_->readv(v, [done = std::move(done), vsize](
+                         core::ReadView view) mutable {
+    const uint64_t stride = 16 + vsize;
+    int found = 0;
+    for (uint64_t off = 0; off + stride <= view.size(); off += stride) {
+      uint32_t len = 0;
+      std::memcpy(&len, view.data() + off + 8, 4);
+      if (len != 0 && len <= vsize) ++found;
+    }
+    done(found > 0);
+  });
+}
+
 void DocStore::scan(uint64_t key, int count, Done done) {
   // Scans read `count` consecutive documents from the local copy; charge
   // per-document CPU (cursor iteration + marshalling). Consecutive keys
-  // stripe across shards, so the cursor hops slices as it advances.
+  // stripe across shards, so the cursor hops slices as it advances —
+  // unless a sharded reader serves the whole scan as one scatter batch
+  // from the replicas.
   const auto cpu =
       cfg_.op_cpu + sim::nsec(500) * static_cast<sim::Duration>(count);
+  if (cfg_.read_from_replica && sreader_ != nullptr) {
+    client_.sched().submit(client_pid_, cpu,
+                           [this, key, count,
+                            done = std::move(done)]() mutable {
+                             remote_scan(key, count, std::move(done));
+                           });
+    return;
+  }
   client_.sched().submit(client_pid_, cpu,
                          [this, key, count, done = std::move(done)]() mutable {
                            int found = 0;

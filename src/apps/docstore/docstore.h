@@ -27,6 +27,7 @@
 #include "core/lock.h"
 #include "core/remote_reader.h"
 #include "core/server.h"
+#include "core/sharded_reader.h"
 #include "core/txn.h"
 #include "core/wal.h"
 
@@ -46,8 +47,11 @@ class DocStore : public StorageEngine {
     /// after offload.
     sim::Duration op_cpu = sim::usec(4);
     /// Serve reads from a replica via one-sided RDMA instead of the
-    /// primary's copy.
+    /// primary's copy. With shards == 1 a plain RemoteReader suffices;
+    /// with shards > 1 a ShardedReader (set_sharded_reader) is required.
     bool read_from_replica = false;
+    /// Lock/read replica for the legacy single-replica reader. A
+    /// ShardedReader picks per read via its replica-selection policy.
     size_t read_replica = 0;
     /// Take read locks for reads (required for consistent replica reads).
     bool use_read_locks = true;
@@ -59,7 +63,18 @@ class DocStore : public StorageEngine {
   DocStore(core::ReplicationGroup& group, core::Server& client, Config cfg);
 
   /// Enables replica reads through the given reader (owned by caller).
-  void set_remote_reader(core::RemoteReader* reader) { reader_ = reader; }
+  /// Single-shard only; the reader's one target is cfg.read_replica.
+  void set_remote_reader(core::RemoteReader* reader) {
+    assert(cfg_.shards == 1 && "use set_sharded_reader with shards > 1");
+    reader_ = reader;
+  }
+
+  /// Enables replica reads and scatter scans through a sharded reader
+  /// (owned by caller). The reader's router must partition the region
+  /// exactly like the store's shard slices, and each shard's targets must
+  /// be indexed by chain replica (target i = replica i) so the selection
+  /// policy's pick can be read-locked. Works for any shard count.
+  void set_sharded_reader(core::ShardedReader* reader) { sreader_ = reader; }
 
   // StorageEngine ---------------------------------------------------------
   void insert(uint64_t key, std::vector<uint8_t> value, Done done) override;
@@ -107,13 +122,19 @@ class DocStore : public StorageEngine {
   std::vector<uint8_t> encode_doc(uint64_t key,
                                   const std::vector<uint8_t>& value) const;
   void write_doc(uint64_t key, std::vector<uint8_t> value, Done done);
-  void finish_read(uint64_t key, ReadDone done);
+  /// Picks the replica a replica-read of `key` will observe (and must
+  /// read-lock): the sharded reader's policy choice, or the static
+  /// cfg_.read_replica for the legacy single-replica reader.
+  size_t pick_read_replica(uint64_t key);
+  void finish_read(uint64_t key, size_t replica, ReadDone done);
+  void remote_scan(uint64_t key, int count, Done done);
 
   core::ReplicationGroup& group_;
   core::Server& client_;
   Config cfg_;
   std::vector<Shard> shards_;
   core::RemoteReader* reader_ = nullptr;
+  core::ShardedReader* sreader_ = nullptr;
   sim::ProcessId client_pid_;
 };
 

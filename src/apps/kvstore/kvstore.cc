@@ -132,9 +132,56 @@ void KvStore::read(uint64_t key, ReadDone done) {
                          });
 }
 
+void KvStore::remote_scan(uint64_t key, int count, Done done) {
+  // One scatter batch over the replicated DB image: shard s's covered
+  // keys occupy consecutive local slots (keys stripe k % shards), so the
+  // whole cross-slice scan is one extent per shard, issued under one
+  // doorbell per chain and rejoined by the sharded reader.
+  core::ReadVec v;
+  const uint64_t stride = slot_stride();
+  const auto kcount = static_cast<uint64_t>(count);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    const uint64_t first =
+        key + (s + cfg_.shards - key % cfg_.shards) % cfg_.shards;
+    if (first >= key + kcount) continue;
+    uint64_t n = (key + kcount - 1 - first) / cfg_.shards + 1;
+    const uint64_t l0 = first / cfg_.shards;
+    const core::RegionLayout& lay = shards_[s].layout;
+    const uint64_t max_slots = lay.db_size() / stride;
+    if (l0 >= max_slots) continue;
+    n = std::min(n, max_slots - l0);
+    v.push_back(core::ReadExtent{lay.db_base() + l0 * stride,
+                                 static_cast<uint32_t>(n * stride)});
+  }
+  if (v.empty()) {
+    done(false);
+    return;
+  }
+  const uint32_t vsize = cfg_.value_size;
+  sreader_->readv(v, [done = std::move(done), vsize](
+                         core::ReadView view) mutable {
+    const uint64_t stride = 16 + vsize;
+    int found = 0;
+    for (uint64_t off = 0; off + stride <= view.size(); off += stride) {
+      uint32_t len = 0;
+      std::memcpy(&len, view.data() + off + 8, 4);
+      if (len != 0 && len <= vsize) ++found;
+    }
+    done(found > 0);
+  });
+}
+
 void KvStore::scan(uint64_t key, int count, Done done) {
   const auto cpu =
       cfg_.op_cpu + sim::nsec(300) * static_cast<sim::Duration>(count);
+  if (sreader_ != nullptr) {
+    client_.sched().submit(client_pid_, cpu,
+                           [this, key, count,
+                            done = std::move(done)]() mutable {
+                             remote_scan(key, count, std::move(done));
+                           });
+    return;
+  }
   client_.sched().submit(client_pid_, cpu, [this, key, count,
                                             done = std::move(done)]() mutable {
     // Scans walk the owning shard's table: dense keys stripe round-robin,

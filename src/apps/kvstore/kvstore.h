@@ -33,6 +33,7 @@
 #include "apps/kvstore/skiplist.h"
 #include "apps/storage_engine.h"
 #include "core/server.h"
+#include "core/sharded_reader.h"
 #include "core/wal.h"
 
 namespace hyperloop::apps {
@@ -72,6 +73,15 @@ class KvStore : public StorageEngine {
   void scan(uint64_t key, int count, Done done) override;
   void read_modify_write(uint64_t key, std::vector<uint8_t> value,
                          Done done) override;
+
+  /// Remote-read mode: scans leave the client memtable and instead read
+  /// the replicated DB image from chain replicas via one-sided RDMA — a
+  /// cross-slice scan becomes ONE scatter batch (one extent per shard,
+  /// one doorbell per chain) instead of a client-side slice walk. The
+  /// reader's router must partition the region like the store's slices.
+  /// Eventually consistent: the DB image holds checkpointed/bulk-loaded
+  /// records, not un-checkpointed memtable tail. Reader owned by caller.
+  void set_sharded_reader(core::ShardedReader* reader) { sreader_ = reader; }
 
   /// Eventually-consistent read from a replica's memtable.
   bool replica_read(size_t replica, uint64_t key,
@@ -133,6 +143,7 @@ class KvStore : public StorageEngine {
                                    const std::vector<uint8_t>& value) const;
 
   void put(uint64_t key, std::vector<uint8_t> value, Done done);
+  void remote_scan(uint64_t key, int count, Done done);
   void defer_put(uint64_t key, std::vector<uint8_t> value,
                  std::shared_ptr<Done> done_sp);
   void maybe_checkpoint(uint32_t s);
@@ -143,6 +154,7 @@ class KvStore : public StorageEngine {
   core::Server& client_;
   Config cfg_;
   core::ShardedWal wal_;
+  core::ShardedReader* sreader_ = nullptr;
   sim::ProcessId client_pid_;
   std::vector<Shard> shards_;
   std::vector<ReplicaState> replica_tables_;

@@ -27,6 +27,11 @@ WorkloadSpec WorkloadSpec::B() {
   s.update = 0.05;
   return s;
 }
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec s;
+  s.read = 1.0;
+  return s;
+}
 WorkloadSpec WorkloadSpec::D() {
   WorkloadSpec s;
   s.read = 0.95;
@@ -51,6 +56,7 @@ WorkloadSpec WorkloadSpec::by_name(char name) {
   switch (name) {
     case 'A': return A();
     case 'B': return B();
+    case 'C': return C();
     case 'D': return D();
     case 'E': return E();
     case 'F': return F();

@@ -3,6 +3,7 @@
 //
 //   A: 50% read / 50% update          zipfian
 //   B: 95% read /  5% update          zipfian
+//   C: 100% read                      zipfian
 //   D: 95% read /  5% insert          latest
 //   E:  5% insert / 95% scan          zipfian start keys, uniform length
 //   F: 50% read / 50% read-modify-write  zipfian
@@ -37,6 +38,7 @@ struct WorkloadSpec {
 
   static WorkloadSpec A();
   static WorkloadSpec B();
+  static WorkloadSpec C();
   static WorkloadSpec D();
   static WorkloadSpec E();
   static WorkloadSpec F();

@@ -1,69 +1,252 @@
 #include "core/remote_reader.h"
 
-#include <cassert>
+#include <utility>
 
 namespace hyperloop::core {
+
+RemoteReader::RemoteReader(Server& client, std::vector<Target> targets,
+                           Options opts)
+    : client_(client), opts_(opts) {
+  assert(!targets.empty());
+  assert(opts_.slots > 0 && opts_.slot_size > 0);
+  endpoints_.reserve(targets.size());
+  rdma::Nic& nic = client_nic();
+  for (const Target& t : targets) {
+    assert(t.server != nullptr);
+    Endpoint ep;
+    ep.server = t.server;
+    ep.remote_base = t.remote_base;
+    ep.rkey = t.rkey;
+    ep.cq = nic.create_cq();
+    ep.qp = nic.create_qp(ep.cq, nullptr, opts_.slots * 2 + 8);
+    // Stub endpoint on the replica; one-sided READs only need routing.
+    rdma::Nic& rnic = t.server->nic(opts_.nic_index);
+    ep.stub = rnic.create_qp(nullptr, nullptr, 8);
+    nic.connect(ep.qp, rnic.id(), ep.stub->qpn);
+    rnic.connect(ep.stub, nic.id(), ep.qp->qpn);
+    ep.bounce_base =
+        client_.mem().alloc(uint64_t{opts_.slots} * opts_.slot_size, 64);
+    for (uint32_t s = 0; s < opts_.slots; ++s) ep.free_slots.push_back(s);
+    endpoints_.push_back(std::move(ep));
+  }
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    endpoints_[i].cq->set_notify([this, i] { on_completion(i); });
+    endpoints_[i].cq->arm_notify();
+  }
+}
+
+RemoteReader::RemoteReader(Server& client, std::vector<Target> targets)
+    : RemoteReader(client, std::move(targets), Options{}) {}
 
 RemoteReader::RemoteReader(Server& client, Server& target,
                            rdma::Addr remote_base, uint32_t rkey,
                            uint32_t slots, uint32_t slot_size)
-    : client_(client),
-      remote_base_(remote_base),
-      rkey_(rkey),
-      slot_size_(slot_size) {
-  cq_ = client_.nic().create_cq();
-  qp_ = client_.nic().create_qp(cq_, nullptr, slots * 2 + 8);
-  // Stub endpoint on the target; one-sided READs only need routing.
-  rdma::QueuePair* stub = target.nic().create_qp(nullptr, nullptr, 8);
-  client_.nic().connect(qp_, target.nic().id(), stub->qpn);
-  target.nic().connect(stub, client_.nic().id(), qp_->qpn);
+    : RemoteReader(client, {Target{&target, remote_base, rkey}},
+                   Options{slots, slot_size, Policy::kHeadOnly, 0}) {}
 
-  bounce_base_ = client_.mem().alloc(uint64_t{slots} * slot_size, 64);
-  for (uint32_t s = 0; s < slots; ++s) free_slots_.push_back(s);
+RemoteReader::~RemoteReader() { stop(); }
 
-  cq_->set_notify([this] { on_completion(); });
-  cq_->arm_notify();
-}
-
-void RemoteReader::read(uint64_t offset, uint32_t len, ReadDone done) {
-  assert(len <= slot_size_ && "read larger than bounce slot");
-  if (free_slots_.empty()) {
-    waiting_.push_back(QueuedRead{offset, len, std::move(done)});
-    return;
+uint32_t RemoteReader::frags_needed(const ReadVec& v, uint32_t slot_size) {
+  uint32_t n = 0;
+  for (const ReadExtent& e : v) {
+    assert(e.len > 0);
+    n += (e.len + slot_size - 1) / slot_size;
   }
-  issue(offset, len, std::move(done));
+  return n;
 }
 
-void RemoteReader::issue(uint64_t offset, uint32_t len, ReadDone done) {
-  const uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
-  const uint64_t wr_id = next_wr_id_++;
-  pending_.push_back(Pending{wr_id, slot, len, std::move(done)});
-  ++reads_issued_;
-  client_.nic().post_send(
-      qp_, rdma::make_read(bounce_base_ + uint64_t{slot} * slot_size_, 0,
-                           remote_base_ + offset, rkey_, len, wr_id));
-}
-
-void RemoteReader::on_completion() {
-  rdma::Cqe cqe;
-  while (cq_->poll(&cqe)) {
-    assert(!pending_.empty());
-    Pending p = std::move(pending_.front());
-    pending_.pop_front();
-    assert(p.wr_id == cqe.wr_id && "READ completions must be FIFO");
-    std::vector<uint8_t> data(p.len);
-    client_.mem().read(bounce_base_ + uint64_t{p.slot} * slot_size_,
-                       data.data(), p.len);
-    free_slots_.push_back(p.slot);
-    p.done(std::move(data));
-    if (!waiting_.empty() && !free_slots_.empty()) {
-      QueuedRead next = std::move(waiting_.front());
-      waiting_.pop_front();
-      issue(next.offset, next.len, std::move(next.done));
+size_t RemoteReader::pick_replica() {
+  switch (opts_.policy) {
+    case Policy::kHeadOnly:
+      return 0;
+    case Policy::kRoundRobin:
+      return rr_next_++ % endpoints_.size();
+    case Policy::kLeastOutstanding: {
+      size_t best = 0;
+      for (size_t i = 1; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].outstanding < endpoints_[best].outstanding) {
+          best = i;
+        }
+      }
+      return best;
     }
   }
-  cq_->arm_notify();
+  return 0;
+}
+
+size_t RemoteReader::next_replica() { return pick_replica(); }
+
+void RemoteReader::read(uint64_t offset, uint32_t len, ReadDone done) {
+  ReadVec v;
+  v.push_back(ReadExtent{offset, len});
+  submit(pick_replica(), v, std::move(done));
+}
+
+void RemoteReader::read_from(size_t replica, uint64_t offset, uint32_t len,
+                             ReadDone done) {
+  ReadVec v;
+  v.push_back(ReadExtent{offset, len});
+  submit(replica, v, std::move(done));
+}
+
+void RemoteReader::readv(const ReadVec& extents, ReadDone done) {
+  submit(pick_replica(), extents, std::move(done));
+}
+
+void RemoteReader::readv_from(size_t replica, const ReadVec& extents,
+                              ReadDone done) {
+  submit(replica, extents, std::move(done));
+}
+
+void RemoteReader::submit(size_t replica, const ReadVec& extents,
+                          ReadDone done) {
+  assert(!stopped_ && "read on a stopped reader");
+  assert(!extents.empty());
+  assert(replica < endpoints_.size());
+  const uint32_t need = frags_needed(extents, opts_.slot_size);
+  assert(need <= opts_.slots && "read larger than the bounce ring");
+  // FIFO: never jump ahead of an already-parked read.
+  if (!waiting_.empty() ||
+      endpoints_[replica].free_slots.size() < need) {
+    Parked p;
+    p.extents = extents;
+    p.replica = static_cast<uint32_t>(replica);
+    p.done = std::move(done);
+    waiting_.push_back(std::move(p));
+    return;
+  }
+  issue(replica, extents, std::move(done));
+}
+
+uint32_t RemoteReader::acquire_op() {
+  if (ops_free_.empty()) {
+    ops_.emplace_back();
+    return static_cast<uint32_t>(ops_.size() - 1);
+  }
+  const uint32_t idx = ops_free_.back();
+  ops_free_.pop_back();
+  return idx;
+}
+
+void RemoteReader::issue(size_t replica, const ReadVec& extents,
+                         ReadDone done) {
+  Endpoint& ep = endpoints_[replica];
+  const uint32_t total = extents.total_len();
+  const uint32_t op_idx = acquire_op();
+  ReadOp& op = ops_[op_idx];
+  op.remaining = 0;
+  op.len = total;
+  op.live = true;
+  op.started = client_.loop().now();
+  if (op.scratch.size() < total) op.scratch.resize(total);
+  op.done = std::move(done);
+
+  // Stage every fragment, then ring the doorbell once: the whole logical
+  // read enters the NIC engine as one coalesced batch.
+  uint32_t dst = 0;
+  for (const ReadExtent& e : extents) {
+    uint64_t off = e.offset;
+    uint32_t left = e.len;
+    while (left > 0) {
+      const uint32_t flen = left < opts_.slot_size ? left : opts_.slot_size;
+      assert(!ep.free_slots.empty());
+      const uint32_t slot = ep.free_slots.back();
+      ep.free_slots.pop_back();
+      const uint64_t wr_id = next_wr_id_++;
+      ep.pending.push_back(Frag{wr_id, slot, flen, op_idx, dst});
+      client_nic().stage_send(
+          ep.qp,
+          rdma::make_read(ep.bounce_base + uint64_t{slot} * opts_.slot_size,
+                          0, ep.remote_base + off, ep.rkey, flen, wr_id));
+      ++op.remaining;
+      ++ep.outstanding;
+      ++ep.frags_issued;
+      ++stats_.frags_issued;
+      off += flen;
+      dst += flen;
+      left -= flen;
+    }
+  }
+  client_nic().ring_doorbell(ep.qp);
+  ++stats_.reads_issued;
+  stats_.read_bytes += total;
+}
+
+void RemoteReader::replay_waiting() {
+  while (!waiting_.empty()) {
+    Parked& head = waiting_.front();
+    const uint32_t need = frags_needed(head.extents, opts_.slot_size);
+    if (endpoints_[head.replica].free_slots.size() < need) return;
+    Parked p = std::move(head);
+    waiting_.pop_front();
+    issue(p.replica, p.extents, std::move(p.done));
+  }
+}
+
+void RemoteReader::on_completion(size_t replica) {
+  Endpoint& ep = endpoints_[replica];
+  rdma::Cqe cqe;
+  while (ep.cq->poll(&cqe)) {
+    assert(!ep.pending.empty());
+    const Frag f = ep.pending.front();
+    ep.pending.pop_front();
+    assert(f.wr_id == cqe.wr_id && "READ completions must be FIFO");
+    ReadOp& op = ops_[f.op];
+    client_.mem().read(ep.bounce_base + uint64_t{f.slot} * opts_.slot_size,
+                       op.scratch.data() + f.dst_off, f.len);
+    ep.free_slots.push_back(f.slot);
+    --ep.outstanding;
+    assert(op.live && op.remaining > 0);
+    if (--op.remaining > 0) {
+      replay_waiting();
+      continue;
+    }
+    // Logical read complete: hand the caller a view into the op's
+    // scratch, release the op slot only after the callback returns (a
+    // read issued from inside it could otherwise reuse — and resize —
+    // the same scratch under the live view).
+    latency_.record(static_cast<int64_t>(client_.loop().now() - op.started));
+    op.live = false;
+    ReadDone done = std::move(op.done);
+    // Snapshot the view before replaying: a replayed read can grow ops_
+    // (invalidating `op`), but the scratch's heap buffer stays put.
+    const uint8_t* data = op.scratch.data();
+    const uint32_t len = op.len;
+    replay_waiting();
+    done(ReadView(data, len));
+    ops_free_.push_back(f.op);
+    if (stopped_) return;  // the callback tore the reader down
+  }
+  ep.cq->arm_notify();
+}
+
+void RemoteReader::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stats_.aborted_reads += waiting_.size();
+  while (!waiting_.empty()) waiting_.pop_front();
+  rdma::Nic& nic = client_nic();
+  for (Endpoint& ep : endpoints_) {
+    // Drop (never invoke) the callbacks of logical reads still in flight.
+    while (!ep.pending.empty()) {
+      const Frag f = ep.pending.front();
+      ep.pending.pop_front();
+      ReadOp& op = ops_[f.op];
+      if (op.live) {
+        op.live = false;
+        op.done.reset();
+        ++stats_.aborted_reads;
+      }
+    }
+    // QPs before their CQ (destroy_cq asserts no QP still references it).
+    // Response packets still in the network then drop at the NIC as
+    // invalid_qp_drops.
+    nic.destroy_qp(ep.qp);
+    ep.server->nic(opts_.nic_index).destroy_qp(ep.stub);
+    nic.destroy_cq(ep.cq);
+    ep.qp = ep.stub = nullptr;
+    ep.cq = nullptr;
+  }
 }
 
 }  // namespace hyperloop::core

@@ -1,11 +1,29 @@
-// One-sided RDMA reads from a replica's replicated region.
+// One-sided RDMA reads from the replicas' replicated regions.
 //
-// HyperLoop allows lock-free (or read-locked) reads from the head or tail
-// of the chain (§5). RemoteReader owns a dedicated QP pair between the
-// client and one replica plus a small ring of bounce buffers, so read
-// traffic never interferes with the pre-posted primitive rings.
+// HyperLoop allows lock-free (or read-locked) reads from any replica of
+// the chain (§5). RemoteReader owns a small pool of dedicated QPs — one
+// per replica it can read from — plus a ring of bounce-buffer slots per
+// endpoint, so read traffic never interferes with the pre-posted
+// primitive rings, and read *load* can be spread across replicas with a
+// pluggable selection policy (Storm-style one-sided fan-out):
+//
+//   kHeadOnly          every read goes to target 0 (the legacy shape)
+//   kRoundRobin        logical reads rotate across all targets
+//   kLeastOutstanding  pick the endpoint with the fewest in-flight frags
+//
+// Reads larger than one bounce slot are fragmented across slots of the
+// chosen endpoint (never across endpoints — one logical read observes one
+// replica), staged with stage_send and issued under a single doorbell.
+// readv() batches discontiguous extents the same way: one endpoint, one
+// doorbell, one completion with the extents concatenated in order.
+//
+// Completion hands the caller a ReadView — a non-owning window into the
+// reader's pooled per-op scratch, valid only inside the callback — so the
+// steady-state read path performs zero heap allocations (gated by
+// nic_alloc_test and tools/lint_hot_path.sh).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -13,56 +31,235 @@
 #include "rdma/nic.h"
 #include "sim/ring.h"
 #include "sim/small_fn.h"
+#include "stats/histogram.h"
 
 namespace hyperloop::core {
 
+/// Non-owning view of the bytes a read returned. Valid only for the
+/// duration of the completion callback (the backing scratch is pooled) —
+/// copy out what must outlive it. Mirrors CasResult.
+class ReadView {
+ public:
+  ReadView() = default;
+  ReadView(const uint8_t* data, uint32_t len) : data_(data), len_(len) {}
+
+  const uint8_t* data() const { return data_; }
+  uint32_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + len_; }
+  uint8_t operator[](size_t i) const {
+    assert(i < len_);
+    return data_[i];
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  uint32_t len_ = 0;
+};
+
+/// Inline capture budget for read completions. 96 bytes: enough for a
+/// `this` pointer, a key, and a nested 48-cap StorageEngine callback —
+/// the docstore/kvstore read chains are exactly that shape.
+inline constexpr size_t kReadDoneCap = 96;
+
+/// Completion callback for reads. The ReadView is only valid inside the
+/// call. Move-only; capture state stays inline in the pooled op slot.
+using ReadDone = sim::SmallFn<void(ReadView), kReadDoneCap>;
+
+static_assert(sizeof(ReadDone) == kReadDoneCap + 2 * sizeof(void*),
+              "ReadDone must stay a flat inline-capture SmallFn");
+
+/// One read extent: a contiguous range of the replicated region.
+struct ReadExtent {
+  uint64_t offset = 0;
+  uint32_t len = 0;
+};
+
+/// Fixed-capacity inline extent list for readv(). Lives by value in the
+/// park ring and scatter-join slots, so batched reads never touch the
+/// heap. Sized for one extent per shard at the largest sharded configs.
+struct ReadVec {
+  static constexpr size_t kCapacity = 16;
+
+  ReadExtent entries[kCapacity];
+  uint32_t count = 0;
+
+  void push_back(const ReadExtent& e) {
+    assert(count < kCapacity);
+    entries[count++] = e;
+  }
+  void clear() { count = 0; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  bool full() const { return count == kCapacity; }
+  const ReadExtent& operator[](size_t i) const {
+    assert(i < count);
+    return entries[i];
+  }
+  const ReadExtent* begin() const { return entries; }
+  const ReadExtent* end() const { return entries + count; }
+  uint32_t total_len() const {
+    uint32_t n = 0;
+    for (uint32_t i = 0; i < count; ++i) n += entries[i].len;
+    return n;
+  }
+};
+
 class RemoteReader {
  public:
-  /// `target` is the replica served by this reader; `remote_base`/`rkey`
-  /// identify its replicated region.
+  /// Replica-selection policy for reads that do not name a replica.
+  enum class Policy : uint8_t { kHeadOnly, kRoundRobin, kLeastOutstanding };
+
+  /// One readable replica: its server plus the base/rkey of its region.
+  struct Target {
+    Server* server = nullptr;
+    rdma::Addr remote_base = 0;
+    uint32_t rkey = 0;
+  };
+
+  struct Options {
+    uint32_t slots = 32;        ///< bounce slots per endpoint
+    uint32_t slot_size = 16384; ///< bytes per bounce slot
+    Policy policy = Policy::kHeadOnly;
+    size_t nic_index = 0;       ///< client/replica NIC the QPs live on
+  };
+
+  struct Stats {
+    uint64_t reads_issued = 0;  ///< logical reads (read/readv calls issued)
+    uint64_t frags_issued = 0;  ///< slot-sized READ WQEs posted
+    uint64_t read_bytes = 0;    ///< payload bytes returned to callers
+    uint64_t aborted_reads = 0; ///< dropped by stop() before completing
+  };
+
+  /// Reads spread across `targets` under `opts.policy`.
+  RemoteReader(Server& client, std::vector<Target> targets, Options opts);
+  RemoteReader(Server& client, std::vector<Target> targets);
+
+  /// Legacy single-replica reader (head-only policy over one target).
   RemoteReader(Server& client, Server& target, rdma::Addr remote_base,
                uint32_t rkey, uint32_t slots = 32, uint32_t slot_size = 16384);
 
-  using ReadDone = sim::SmallFn<void(std::vector<uint8_t>), 64>;
+  ~RemoteReader();
+  RemoteReader(const RemoteReader&) = delete;
+  RemoteReader& operator=(const RemoteReader&) = delete;
 
-  /// Reads `len` bytes at region `offset` from the target replica.
-  /// Requires len <= slot_size; reads queue when all slots are busy.
+  /// Reads `len` bytes at region `offset` from a policy-chosen replica.
+  /// Fragments across bounce slots when len > slot_size; requires
+  /// len <= max_read_len(). Reads park FIFO when slots are busy.
   void read(uint64_t offset, uint32_t len, ReadDone done);
 
-  uint64_t reads_issued() const { return reads_issued_; }
+  /// Same, from a specific replica (callers that read-lock a replica must
+  /// read the one they locked).
+  void read_from(size_t replica, uint64_t offset, uint32_t len,
+                 ReadDone done);
+
+  /// Batched scatter read: every extent from one policy-chosen replica,
+  /// staged together and issued under one doorbell. The completion view
+  /// is the extents' bytes concatenated in list order.
+  void readv(const ReadVec& extents, ReadDone done);
+
+  /// Same, from a specific replica.
+  void readv_from(size_t replica, const ReadVec& extents, ReadDone done);
+
+  /// Applies the selection policy and returns the replica the *next*
+  /// policy-routed read would use (advancing round-robin state). Callers
+  /// that must lock the replica they read pick here, lock, then
+  /// read_from() the same index.
+  size_t next_replica();
+
+  /// Idempotent teardown: parked and in-flight reads are dropped without
+  /// their callbacks firing (counted in stats().aborted_reads); QPs and
+  /// CQs are destroyed (in-flight response packets then drop at the NIC
+  /// as invalid_qp_drops). The destructor calls stop(). Must not be
+  /// called in the same instant reads were posted: destroy_qp requires an
+  /// idle send engine, so let the loop run past the staged WQEs'
+  /// execution (~wqe_cost each) first — responses may still be in flight.
+  void stop();
+
+  size_t num_replicas() const { return endpoints_.size(); }
+  Server& client() { return client_; }
+  const Server& client() const { return client_; }
+  uint32_t slot_size() const { return opts_.slot_size; }
+  /// Largest single logical read/readv (all fragments must fit one
+  /// endpoint's slot ring at once).
+  uint32_t max_read_len() const { return opts_.slots * opts_.slot_size; }
+
+  uint64_t reads_issued() const { return stats_.reads_issued; }
+  const Stats& stats() const { return stats_; }
+  /// READ fragments issued to replica `i` (the read-spread signal).
+  uint64_t replica_frags(size_t i) const {
+    return endpoints_.at(i).frags_issued;
+  }
+  uint64_t outstanding(size_t i) const { return endpoints_.at(i).outstanding; }
+  /// Latency of completed logical reads (issue -> last fragment).
+  const stats::Histogram& latency() const { return latency_; }
 
  private:
-  /// One outstanding READ. The QP completes one-sided READs in post
-  /// order, so in-flight reads form a FIFO.
-  struct Pending {
+  /// One in-flight slot-sized READ, pointing back into its logical op.
+  struct Frag {
     uint64_t wr_id = 0;
     uint32_t slot = 0;
     uint32_t len = 0;
-    ReadDone done;
+    uint32_t op = 0;      ///< ops_ index (pool may grow; never a pointer)
+    uint32_t dst_off = 0; ///< byte position in the op's assembled view
   };
 
-  /// A read parked until a bounce slot frees up.
-  struct QueuedRead {
-    uint64_t offset = 0;
+  /// One QP to one replica plus its bounce-slot ring. READ completions
+  /// arrive in post order per QP, so in-flight fragments form a FIFO.
+  struct Endpoint {
+    Server* server = nullptr;
+    rdma::Addr remote_base = 0;
+    uint32_t rkey = 0;
+    rdma::QueuePair* qp = nullptr;
+    rdma::QueuePair* stub = nullptr;  ///< routing endpoint on the replica
+    rdma::CompletionQueue* cq = nullptr;
+    rdma::Addr bounce_base = 0;
+    std::vector<uint32_t> free_slots;
+    sim::Ring<Frag> pending;   ///< FIFO of in-flight fragments
+    uint64_t outstanding = 0;  ///< in-flight fragments
+    uint64_t frags_issued = 0;
+  };
+
+  /// One logical read in flight: fragments outstanding, the assembly
+  /// scratch (grows to high-water, then reused — zero steady-state
+  /// allocations), and the parked completion.
+  struct ReadOp {
+    uint32_t remaining = 0;
     uint32_t len = 0;
+    bool live = false;
+    sim::Time started = 0;
+    std::vector<uint8_t> scratch;
     ReadDone done;
   };
 
-  void issue(uint64_t offset, uint32_t len, ReadDone done);
-  void on_completion();
+  /// A logical read parked until its endpoint has enough free slots.
+  struct Parked {
+    ReadVec extents;
+    uint32_t replica = 0;
+    ReadDone done;
+  };
+
+  static uint32_t frags_needed(const ReadVec& v, uint32_t slot_size);
+  size_t pick_replica();
+  void submit(size_t replica, const ReadVec& extents, ReadDone done);
+  void issue(size_t replica, const ReadVec& extents, ReadDone done);
+  uint32_t acquire_op();
+  void replay_waiting();
+  void on_completion(size_t replica);
+  rdma::Nic& client_nic() { return client_.nic(opts_.nic_index); }
 
   Server& client_;
-  rdma::Addr remote_base_;
-  uint32_t rkey_;
-  uint32_t slot_size_;
-  rdma::QueuePair* qp_ = nullptr;
-  rdma::CompletionQueue* cq_ = nullptr;
-  rdma::Addr bounce_base_ = 0;
-  std::vector<uint32_t> free_slots_;
+  Options opts_;
+  std::vector<Endpoint> endpoints_;
   uint64_t next_wr_id_ = 1;
-  sim::Ring<Pending> pending_;     ///< FIFO of in-flight READs
-  sim::Ring<QueuedRead> waiting_;  ///< reads parked for a bounce slot
-  uint64_t reads_issued_ = 0;
+  size_t rr_next_ = 0;             ///< round-robin cursor
+  std::vector<ReadOp> ops_;        ///< pooled logical ops
+  std::vector<uint32_t> ops_free_; ///< LIFO free list into ops_
+  sim::Ring<Parked> waiting_;      ///< reads parked for bounce slots
+  Stats stats_;
+  stats::Histogram latency_;
+  bool stopped_ = false;
 };
 
 }  // namespace hyperloop::core

@@ -1,0 +1,118 @@
+// Sharded one-sided read datapath (DESIGN.md "Read datapath").
+//
+// A ShardedReader composes K per-shard RemoteReader pools behind the
+// single-reader read/readv/scan API, routing offsets through the same POD
+// ShardRouter as ShardedGroup — identity addressing, so the layers above
+// keep their logical offsets and each shard's reader simply serves the
+// slices its chain owns. Uniform batches forward untouched to the owning
+// shard's reader (which spreads them across that chain's replicas under
+// its own policy); batches that span shards are split per shard and
+// rejoined with a pooled scatter-join completion, exactly the gWRITEV
+// split/join shape on the write side: child completions capture the join
+// slot *index*, the assembled bytes live in a per-join scratch that grows
+// to high-water and is reused, and the caller sees one ReadDone with the
+// extents concatenated in list order.
+//
+// scan() is the batched cross-slice form: one contiguous logical span is
+// split at routing boundaries into one extent per shard and issued as a
+// single scatter readv — N slice hops become one doorbell per shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/remote_reader.h"
+#include "core/sharded_group.h"
+
+namespace hyperloop::core {
+
+class ShardedReader {
+ public:
+  struct Stats {
+    uint64_t reads_issued = 0;   ///< logical reads routed (incl. scans)
+    uint64_t read_bytes = 0;     ///< payload bytes returned to callers
+    uint64_t scatter_reads = 0;  ///< batches split across >1 shard
+    uint64_t aborted_reads = 0;  ///< joins dropped by stop()
+  };
+
+  /// Takes ownership of the per-shard readers. Reader s serves every
+  /// offset the router maps to shard s; the router must match the one
+  /// partitioning the write-side ShardedGroup.
+  ShardedReader(std::vector<std::unique_ptr<RemoteReader>> shards,
+                ShardRouter router);
+  ~ShardedReader();
+  ShardedReader(const ShardedReader&) = delete;
+  ShardedReader& operator=(const ShardedReader&) = delete;
+
+  /// Reads `len` bytes at logical `offset`. The range must not straddle a
+  /// routing boundary (same contract as the write primitives).
+  void read(uint64_t offset, uint32_t len, ReadDone done);
+
+  /// Same, from a specific replica of the owning shard's chain (callers
+  /// that read-lock a replica must read the one they locked).
+  void read_from(size_t replica, uint64_t offset, uint32_t len,
+                 ReadDone done);
+
+  /// Batched scatter read: extents may live on different shards. The
+  /// completion view is the extents' bytes concatenated in list order;
+  /// single-shard batches forward to that shard's reader untouched.
+  void readv(const ReadVec& extents, ReadDone done);
+
+  /// Contiguous logical span [offset, offset + len), split at routing
+  /// boundaries into at most ReadVec::kCapacity extents and issued as one
+  /// scatter readv.
+  void scan(uint64_t offset, uint64_t len, ReadDone done);
+
+  /// Idempotent teardown: live joins are dropped without their callbacks
+  /// firing, then every per-shard reader stops. Destructor calls stop().
+  void stop();
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  RemoteReader& shard(size_t s) { return *shards_.at(s); }
+  const RemoteReader& shard(size_t s) const { return *shards_.at(s); }
+  const ShardRouter& router() const { return router_; }
+  const Stats& stats() const { return stats_; }
+
+  /// READ fragments issued to replica `i`, summed across shards (the
+  /// replica_read_spread signal).
+  uint64_t replica_frags(size_t i) const;
+
+  /// Latency of completed multi-shard scatter reads (issue -> join).
+  const stats::Histogram& scatter_latency() const { return scatter_latency_; }
+
+  /// Merged per-shard logical-read latency (reporting path; allocates).
+  stats::Histogram read_latency() const;
+
+ private:
+  /// One cross-shard scatter read in flight. Child completions capture
+  /// the slot index, never a pointer — the pool vector may grow.
+  struct JoinOp {
+    /// Sub-batch for one shard plus where each sub-extent's bytes land in
+    /// the logical output.
+    struct Sub {
+      ReadVec extents;
+      uint32_t dst_off[ReadVec::kCapacity] = {};
+    };
+    uint32_t remaining = 0;
+    uint32_t total_len = 0;
+    bool live = false;
+    sim::Time started = 0;
+    std::vector<Sub> sub;  ///< sized to shards() on first use, then reused
+    std::vector<uint8_t> scratch;
+    ReadDone done;
+  };
+
+  uint32_t acquire_join();
+  void child_done(uint32_t idx, uint32_t shard, ReadView view);
+
+  std::vector<std::unique_ptr<RemoteReader>> shards_;
+  ShardRouter router_;
+  std::vector<JoinOp> join_ops_;
+  std::vector<uint32_t> join_free_;
+  Stats stats_;
+  stats::Histogram scatter_latency_;
+  bool stopped_ = false;
+};
+
+}  // namespace hyperloop::core

@@ -170,7 +170,7 @@ TEST(RemoteReaderTest, ReadsFromReplica) {
   RemoteReader reader(cluster.server(3), group.replica_server(2),
                       group.replica_region_base(2), group.replica_data_rkey(2));
   std::string got;
-  reader.read(2048, data.size(), [&](std::vector<uint8_t> bytes) {
+  reader.read(2048, data.size(), [&](ReadView bytes) {
     got.assign(bytes.begin(), bytes.end());
   });
   cluster.loop().run_until(cluster.loop().now() + sim::msec(10));
@@ -203,13 +203,12 @@ TEST(RemoteReaderTest, ManyConcurrentReadsExerciseSlotRing) {
                       /*slots=*/8);
   int ok = 0;
   for (int k = 0; k < 100; ++k) {
-    reader.read(static_cast<uint64_t>(k) * 64, 8,
-                [&, k](std::vector<uint8_t> bytes) {
-                  uint64_t v = 0;
-                  std::memcpy(&v, bytes.data(), 8);
-                  EXPECT_EQ(v, static_cast<uint64_t>(k) * 11);
-                  ++ok;
-                });
+    reader.read(static_cast<uint64_t>(k) * 64, 8, [&, k](ReadView bytes) {
+      uint64_t v = 0;
+      std::memcpy(&v, bytes.data(), 8);
+      EXPECT_EQ(v, static_cast<uint64_t>(k) * 11);
+      ++ok;
+    });
   }
   cluster.loop().run_until(cluster.loop().now() + sim::msec(50));
   EXPECT_EQ(ok, 100);

@@ -17,6 +17,7 @@
 #include "core/hyperloop_group.h"
 #include "core/lock.h"
 #include "core/server.h"
+#include "core/sharded_reader.h"
 #include "core/tcp_group.h"
 #include "core/wal.h"
 #include "nvm/nvm_device.h"
@@ -411,6 +412,122 @@ TEST(NicAllocTransaction, ChainedGwriteCopiesExactlyOncePerSink) {
     ASSERT_EQ(std::memcmp(got.data(), payload.data(), kLen), 0)
         << "replica " << r << " diverged";
   }
+}
+
+// The read-datapath lap: once the per-endpoint bounce-slot rings, the
+// pooled op/join tables, and the per-op scratch buffers have warmed to
+// the workload's high-water mark, a steady-state read mix — single-shard
+// reads spread across replicas, a fragmented large read slicing across
+// bounce slots, and a cross-shard scatter scan split/joined through the
+// ShardedReader — must perform ZERO heap allocations. ReadView hands the
+// caller a window into pooled scratch; any regression that reintroduces
+// a per-read vector or a SmallFn spill fails here.
+TEST(NicAllocRead, ShardedReadScanLapAllocatesNothing) {
+  Cluster cluster{[] {
+    Cluster::Config c;
+    c.num_servers = 4;
+    c.server.cpu.num_cores = 8;
+    c.server.num_nics = 2;  // one NIC port per chain
+    return c;
+  }()};
+  constexpr uint64_t kRegion = 1 << 20;
+  constexpr uint32_t kShards = 2;
+  constexpr uint64_t kSpan = kRegion / kShards;
+  std::vector<Server*> reps = {&cluster.server(0), &cluster.server(1),
+                               &cluster.server(2)};
+  std::vector<std::unique_ptr<ReplicationGroup>> chains;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    HyperLoopGroup::Config gc;
+    gc.region_size = kRegion;  // identity addressing
+    gc.ring_slots = 64;
+    gc.max_inflight = 16;
+    gc.nic_index = s;
+    chains.push_back(
+        std::make_unique<HyperLoopGroup>(cluster.server(3), reps, gc));
+  }
+  ShardedGroup group(std::move(chains), ShardRouter::range(kShards, kSpan));
+
+  // Replicate a pattern straddling the routing boundary so scans touch
+  // both shards and every replica serves identical bytes.
+  std::vector<uint8_t> fill(32 << 10);
+  const uint64_t base = kSpan - (16 << 10);
+  for (size_t i = 0; i < fill.size(); ++i) {
+    fill[i] = static_cast<uint8_t>((base + i) * 31 + 7);
+  }
+  group.client_store(base, fill.data(), static_cast<uint32_t>(fill.size()));
+  int wrote = 0;
+  group.gwrite(base, 16 << 10, false, [&] { ++wrote; });
+  group.gwrite(kSpan, 16 << 10, false, [&] { ++wrote; });
+  cluster.loop().run_until(cluster.loop().now() + sim::msec(50));
+  ASSERT_EQ(wrote, 2);
+
+  std::vector<std::unique_ptr<RemoteReader>> readers;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    auto& hl = static_cast<HyperLoopGroup&>(group.shard(s));
+    std::vector<RemoteReader::Target> t;
+    for (size_t i = 0; i < 3; ++i) {
+      t.push_back({&hl.replica_server(i), hl.replica_region_base(i),
+                   hl.replica_data_rkey(i)});
+    }
+    RemoteReader::Options opts;
+    opts.slots = 8;
+    opts.slot_size = 4096;
+    opts.policy = RemoteReader::Policy::kRoundRobin;
+    opts.nic_index = s;
+    readers.push_back(std::make_unique<RemoteReader>(cluster.server(3),
+                                                     std::move(t), opts));
+  }
+  ShardedReader reader(std::move(readers), group.router());
+
+  int laps_done = 0;
+  auto lap = [&] {
+    int done = 0;
+    // Replica-spread small reads on both shards (enough per lap to cycle
+    // the responders' response caches during warm-up, and to exhaust the
+    // 8-slot bounce rings so the park/replay path is exercised too).
+    for (int k = 0; k < 12; ++k) {
+      reader.read(base + static_cast<uint64_t>(k) * 256, 128,
+                  [&done](ReadView) { ++done; });
+      reader.read(kSpan + static_cast<uint64_t>(k) * 256, 128,
+                  [&done](ReadView) { ++done; });
+    }
+    // A fragmented large read: 12 KB slices across three 4 KB slots.
+    reader.read(kSpan, 12 << 10, [&done](ReadView v) {
+      done += v.size() == (12u << 10);
+    });
+    // A cross-shard scatter scan: split at the boundary, joined pooled.
+    reader.scan(kSpan - 4096, 8192, [&done](ReadView v) {
+      done += v.size() == 8192u;
+    });
+    cluster.loop().run_until(cluster.loop().now() + sim::msec(5));
+    ASSERT_EQ(done, 26);
+    ++laps_done;
+  };
+
+  // Warm-up: grow the bounce rings, op/join pools, and scratch buffers to
+  // high water, and cycle every responder QP's 128-entry response cache
+  // at least once — READ responses pin payload blocks there until a later
+  // response evicts them, so the payload pool only reaches its
+  // steady-state class mix after a full cache revolution per endpoint.
+  for (int i = 0; i < 48; ++i) lap();
+  ASSERT_EQ(laps_done, 48);
+  ASSERT_GT(reader.stats().scatter_reads, 0u);
+  ASSERT_GT(reader.shard(1).stats().frags_issued,
+            reader.shard(1).stats().reads_issued)
+      << "large reads never fragmented";
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 4; ++i) lap();
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "steady-state read lap (read -> bounce -> view) performed "
+      << (g_alloc_count - before) << " heap allocations";
+  EXPECT_EQ(laps_done, 52);
+
+  // Sanity: the reads really spread across the chain replicas.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_GT(reader.replica_frags(r), 0u) << "replica " << r;
+  }
+  EXPECT_EQ(reader.stats().aborted_reads, 0u);
 }
 
 // The kernel-TCP baseline's message path. The baseline is the paper's

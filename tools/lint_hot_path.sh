@@ -24,6 +24,10 @@ src/core/wal.h
 src/core/wal.cc
 src/core/sharded_group.h
 src/core/sharded_group.cc
+src/core/remote_reader.h
+src/core/remote_reader.cc
+src/core/sharded_reader.h
+src/core/sharded_reader.cc
 src/rdma/nic.h
 src/rdma/nic.cc
 src/rdma/completion_queue.h
